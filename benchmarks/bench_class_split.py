@@ -1,0 +1,76 @@
+"""§4.1 — the small/medium/large class split of the 43 models.
+
+Paper: 8 small models (baseline under a minute on the testbed), 22
+medium (1-5 minutes), 13 large (over 5 minutes, up to the ~2 h cap the
+cell count was chosen for), ordered by baseline execution time.
+"""
+
+import pytest
+
+from repro.bench import ModeledBench
+from repro.machine import AVX512
+from repro.models import (ALL_MODELS, LARGE_MODELS, MEDIUM_MODELS,
+                          SIZE_CLASS, SMALL_MODELS)
+
+
+@pytest.fixture(scope="module")
+def baseline_times(bench):
+    return {name: bench.seconds(name, "baseline", AVX512, 1)
+            for name in ALL_MODELS}
+
+
+@pytest.mark.figure("sec4.1")
+def test_class_split_regenerate(benchmark, bench):
+    times = benchmark(lambda: {n: bench.seconds(n, "baseline", AVX512, 1)
+                               for n in ALL_MODELS})
+    print("\n§4.1 — baseline execution time per class "
+          "(8192 cells x 100k steps, modeled 1T):")
+    for cls, names in (("small", SMALL_MODELS), ("medium", MEDIUM_MODELS),
+                       ("large", LARGE_MODELS)):
+        values = sorted(times[n] for n in names)
+        print(f"  {cls:<7} n={len(names):2d}  "
+              f"[{values[0]:8.1f}s .. {values[-1]:8.1f}s]")
+    assert len(SMALL_MODELS) == 8
+    assert len(MEDIUM_MODELS) == 22
+    assert len(LARGE_MODELS) == 13
+
+
+@pytest.mark.figure("sec4.1")
+class TestClassBands:
+    def test_classes_do_not_interleave_much(self, baseline_times):
+        """Class medians must be well separated and ordered."""
+        def median(names):
+            values = sorted(baseline_times[n] for n in names)
+            return values[len(values) // 2]
+
+        assert median(SMALL_MODELS) < median(MEDIUM_MODELS) / 2
+        assert median(MEDIUM_MODELS) < median(LARGE_MODELS) / 2
+
+    def test_small_band(self, baseline_times):
+        """Small models run in about a minute or less (ISAC_Hu, the
+        math-heavy exception the paper calls out, may straddle)."""
+        for name in SMALL_MODELS:
+            assert baseline_times[name] < 110.0, name
+
+    def test_medium_band(self, baseline_times):
+        for name in MEDIUM_MODELS:
+            assert 45.0 < baseline_times[name] < 360.0, name
+
+    def test_large_band(self, baseline_times):
+        """Over ~5 minutes, capped around two hours (§4: cell count was
+        chosen so 'the largest models not to take more than two hours')."""
+        for name in LARGE_MODELS:
+            assert baseline_times[name] > 300.0, name
+            assert baseline_times[name] < 2.2 * 3600.0, name
+
+    def test_largest_is_iyer_class_model(self, baseline_times):
+        heaviest = max(ALL_MODELS, key=lambda n: baseline_times[n])
+        assert SIZE_CLASS[heaviest] == "large"
+        assert heaviest in ("IyerMazhariWinslow", "GrandiPanditVoigt",
+                            "TomekORd")
+
+    def test_full_suite_duration_matches_paper_scale(self, baseline_times):
+        """§A.2: reproducing Fig. 2 takes ~10 hours on the testbed; the
+        modeled total baseline time must be the dominant share of that."""
+        total_hours = sum(baseline_times.values()) / 3600.0
+        assert 5.0 < total_hours < 16.0

@@ -1,0 +1,113 @@
+"""Figure 2 — per-model speedup, single thread, AVX-512.
+
+Paper: geomean 5.25x on AVX-512; speedups "low and irregular in small
+models, more significant and consistent for larger models"; peaks above
+15x (up to ~26x); ISAC_Hu a notable exception among the smalls thanks
+to vectorized math calls.
+"""
+
+import pytest
+
+from repro.bench import (figure_speedups, format_speedup_table, geomean,
+                         run_measured)
+from repro.machine import AVX512
+from repro.models import SIZE_CLASS
+
+
+@pytest.fixture(scope="module")
+def fig2(bench):
+    return figure_speedups(threads=1, isa=AVX512, bench=bench)
+
+
+@pytest.mark.figure("fig2")
+def test_fig2_regenerate(benchmark, bench):
+    """Regenerates Fig. 2, prints the table, asserts the headline shape.
+
+    Runs under --benchmark-only too: the benchmarked payload is the
+    figure regeneration itself (43 models x 2 backends on the modeled
+    testbed).
+    """
+    bars = benchmark(lambda: figure_speedups(threads=1, isa=AVX512,
+                                             bench=bench))
+    print()
+    print(format_speedup_table(
+        bars, "Fig. 2 — speedup vs baseline openCARP, 1 thread, "
+        "AVX-512 (modeled testbed)"))
+    overall = geomean([b.speedup for b in bars])
+    means = {cls: geomean([b.speedup for b in bars
+                           if b.size_class == cls])
+             for cls in ("small", "medium", "large")}
+    assert len(bars) == 43
+    assert 4.2 <= overall <= 7.0, f"paper 5.25x, ours {overall:.2f}x"
+    assert means["small"] < means["medium"] < means["large"]
+    assert max(b.speedup for b in bars) > 15.0
+
+
+@pytest.mark.figure("fig2")
+class TestFigure2Shape:
+    def test_print_table(self, fig2):
+        print()
+        print(format_speedup_table(
+            fig2, "Fig. 2 — speedup vs baseline openCARP, 1 thread, "
+            "AVX-512 (modeled testbed)"))
+
+    def test_covers_all_43_models(self, fig2):
+        assert len(fig2) == 43
+
+    def test_overall_geomean_near_paper(self, fig2):
+        value = geomean([b.speedup for b in fig2])
+        assert 4.2 <= value <= 7.0, f"paper: 5.25x, ours {value:.2f}x"
+
+    def test_speedups_grow_with_model_size(self, fig2):
+        means = {cls: geomean([b.speedup for b in fig2
+                               if b.size_class == cls])
+                 for cls in ("small", "medium", "large")}
+        assert means["small"] < means["medium"] < means["large"]
+
+    def test_small_models_low_and_modest(self, fig2):
+        small = [b.speedup for b in fig2
+                 if b.size_class == "small" and b.model != "ISAC_Hu"]
+        assert geomean(small) < 4.5
+
+    def test_peak_exceeds_fifteen(self, fig2):
+        assert max(b.speedup for b in fig2) > 15.0
+
+    def test_acceleration_exceeds_vector_width(self, fig2):
+        """§4.1: "the acceleration can be much higher than the size of
+        the vectors" (8 lanes here)."""
+        beyond_lanes = [b for b in fig2 if b.speedup > 8.0]
+        assert len(beyond_lanes) >= 10
+
+    def test_isac_hu_is_the_small_class_exception(self, fig2):
+        smalls = {b.model: b.speedup for b in fig2
+                  if b.size_class == "small"}
+        isac = smalls.pop("ISAC_Hu")
+        assert isac > max(smalls.values())
+
+    def test_every_model_speeds_up_single_thread(self, fig2):
+        assert all(b.speedup > 1.0 for b in fig2)
+
+    def test_ordering_by_baseline_time(self, fig2):
+        times = [b.baseline_seconds for b in fig2]
+        assert times == sorted(times)
+
+
+@pytest.mark.figure("fig2")
+def test_measured_single_thread_speedup(benchmark):
+    """Real engines: the vectorized kernel per step, with the measured
+    baseline/limpetMLIR ratio reported alongside."""
+    from repro.bench.harness import _cached_runner
+    runner = _cached_runner("LuoRudy91", "limpet_mlir", 8)
+    state = runner.make_state(1024, perturbation=0.005)
+
+    def step():
+        runner.compute_step(state, 0.01)
+
+    benchmark(step)
+    base = run_measured("LuoRudy91", "baseline", n_cells=256, n_steps=20,
+                        runs=3)
+    vec = run_measured("LuoRudy91", "limpet_mlir", 8, n_cells=256,
+                       n_steps=20, runs=3)
+    ratio = base.seconds / vec.seconds
+    print(f"\nmeasured engine ratio (LuoRudy91, 256 cells): {ratio:.1f}x")
+    assert ratio > 2.0

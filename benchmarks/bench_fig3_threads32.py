@@ -1,0 +1,67 @@
+"""Figure 3 — per-model speedup, 32 threads on 32 cores, AVX-512.
+
+Paper: geomean 1.93x overall; 0.83x on small models (a slowdown, from
+synchronization/optimization overheads and memory-bound behaviour),
+1.34x on medium and 6.03x on large models.
+"""
+
+import pytest
+
+from repro.bench import figure_speedups, format_speedup_table, geomean
+from repro.machine import AVX512
+
+
+@pytest.fixture(scope="module")
+def fig3(bench):
+    return figure_speedups(threads=32, isa=AVX512, bench=bench)
+
+
+def class_geomeans(bars):
+    return {cls: geomean([b.speedup for b in bars if b.size_class == cls])
+            for cls in ("small", "medium", "large")}
+
+
+@pytest.mark.figure("fig3")
+def test_fig3_regenerate(benchmark, bench):
+    bars = benchmark(lambda: figure_speedups(threads=32, isa=AVX512,
+                                             bench=bench))
+    print()
+    print(format_speedup_table(
+        bars, "Fig. 3 — speedup vs baseline openCARP, 32 threads, "
+        "AVX-512 (modeled testbed)"))
+    means = class_geomeans(bars)
+    overall = geomean([b.speedup for b in bars])
+    # paper: 0.83 / 1.34 / 6.03, overall 1.93
+    assert means["small"] < 1.0, "small models must slow down at 32T"
+    assert 1.0 < means["medium"] < 2.2
+    assert 4.5 < means["large"] < 9.5
+    assert 1.5 < overall < 3.0, f"paper 1.93x, ours {overall:.2f}x"
+
+
+@pytest.mark.figure("fig3")
+class TestFigure3Shape:
+    def test_small_models_slow_down(self, fig3):
+        means = class_geomeans(fig3)
+        assert means["small"] < 1.0
+
+    def test_class_ordering(self, fig3):
+        means = class_geomeans(fig3)
+        assert means["small"] < means["medium"] < means["large"]
+
+    def test_compression_vs_single_thread(self, bench, fig3):
+        """Every class's 32T geomean is below its 1T geomean: the
+        parallel overheads eat part of the vectorization win."""
+        from repro.bench import figure_speedups
+        fig2 = figure_speedups(threads=1, isa=AVX512, bench=bench)
+        m1, m32 = class_geomeans(fig2), class_geomeans(fig3)
+        for cls in ("small", "medium", "large"):
+            assert m32[cls] < m1[cls], cls
+
+    def test_all_large_models_still_win(self, fig3):
+        larges = [b for b in fig3 if b.size_class == "large"]
+        assert all(b.speedup > 2.0 for b in larges)
+
+    def test_most_small_models_lose(self, fig3):
+        smalls = [b for b in fig3 if b.size_class == "small"]
+        losers = [b for b in smalls if b.speedup < 1.0]
+        assert len(losers) >= len(smalls) // 2

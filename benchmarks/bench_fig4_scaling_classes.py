@@ -1,0 +1,75 @@
+"""Figure 4 — class-average execution time vs threads (AVX-512).
+
+Paper: small models' scalability is "very poor" (curves flatten as
+cores increase; limpetMLIR even crosses above baseline at 32 cores);
+large models scale almost ideally with limpetMLIR consistently 8-10x
+below baseline.
+"""
+
+import pytest
+
+from repro.bench import THREAD_SWEEP, figure_scaling, format_scaling_table
+
+
+@pytest.fixture(scope="module")
+def fig4(bench):
+    return figure_scaling(bench=bench)
+
+
+def series_of(fig4, size_class, variant):
+    return next(s for s in fig4
+                if s.size_class == size_class and s.variant == variant)
+
+
+@pytest.mark.figure("fig4")
+def test_fig4_regenerate(benchmark, bench):
+    series = benchmark(lambda: figure_scaling(bench=bench))
+    print()
+    print(format_scaling_table(series))
+    large_base = series_of(series, "large", "baseline")
+    large_mlir = series_of(series, "large", "limpet_mlir")
+    # large models: limpetMLIR consistently far below baseline
+    for tb, tv in zip(large_base.seconds, large_mlir.seconds):
+        assert tv < tb / 4.0
+    # small models: limpetMLIR crosses above baseline at 32 threads
+    small_base = series_of(series, "small", "baseline")
+    small_mlir = series_of(series, "small", "limpet_mlir")
+    assert small_mlir.seconds[0] < small_base.seconds[0]
+    assert small_mlir.seconds[-1] > small_base.seconds[-1]
+
+
+@pytest.mark.figure("fig4")
+class TestFigure4Shape:
+    def test_six_series(self, fig4):
+        assert len(fig4) == 6
+
+    def test_large_baseline_scales_near_ideally(self, fig4):
+        """1 -> 32 threads must buy close to 32x on large baselines."""
+        series = series_of(fig4, "large", "baseline")
+        gain = series.seconds[0] / series.seconds[-1]
+        assert gain > 24.0
+
+    def test_small_scaling_flattens(self, fig4):
+        """The small class gains far less than ideal from 32 cores."""
+        series = series_of(fig4, "small", "limpet_mlir")
+        gain = series.seconds[0] / series.seconds[-1]
+        assert gain < 12.0
+
+    def test_small_limpetmlir_curve_flattens_at_high_threads(self, fig4):
+        series = series_of(fig4, "small", "limpet_mlir")
+        early_gain = series.seconds[0] / series.seconds[2]   # 1T -> 4T
+        late_gain = series.seconds[3] / series.seconds[5]    # 8T -> 32T
+        assert late_gain < early_gain
+
+    def test_times_monotone_for_large(self, fig4):
+        for variant in ("baseline", "limpet_mlir"):
+            series = series_of(fig4, "large", variant)
+            assert list(series.seconds) == sorted(series.seconds,
+                                                  reverse=True)
+
+    def test_class_ordering_at_every_thread_count(self, fig4):
+        for i, _ in enumerate(THREAD_SWEEP):
+            small = series_of(fig4, "small", "baseline").seconds[i]
+            medium = series_of(fig4, "medium", "baseline").seconds[i]
+            large = series_of(fig4, "large", "baseline").seconds[i]
+            assert small < medium < large

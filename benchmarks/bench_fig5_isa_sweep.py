@@ -1,0 +1,71 @@
+"""Figure 5 — geomean speedups for SSE/AVX2/AVX-512 across 1-32 threads.
+
+Paper: "In all cases the AVX-512 architecture outperforms AVX2 and AVX2
+outperforms SSE ... The difference flattens as the number of cores
+increases."  Large-model 32-thread speedups: 3.80x (SSE), 5.13x (AVX2),
+6.03x (AVX-512); overall geomean across all models and architectures:
+2.90x.
+"""
+
+import pytest
+
+from repro.bench import THREAD_SWEEP, figure_isa_sweep, format_isa_sweep, geomean
+from repro.machine import ISAS
+from repro.models import LARGE_MODELS
+
+
+@pytest.fixture(scope="module")
+def fig5(bench):
+    return figure_isa_sweep(bench=bench)
+
+
+@pytest.mark.figure("fig5")
+def test_fig5_regenerate(benchmark, bench):
+    rows = benchmark(lambda: figure_isa_sweep(bench=bench))
+    print()
+    print(format_isa_sweep(rows))
+    by_isa = {r.isa: r.geomean_speedup for r in rows}
+    # ISA ordering holds at every thread count
+    for i, threads in enumerate(THREAD_SWEEP):
+        assert by_isa["avx512"][i] > by_isa["avx2"][i] > by_isa["sse"][i], \
+            f"ordering broken at {threads} threads"
+    overall = geomean([v for r in rows for v in r.geomean_speedup])
+    assert 2.2 <= overall <= 4.2, f"paper 2.90x, ours {overall:.2f}x"
+
+
+@pytest.mark.figure("fig5")
+class TestFigure5Shape:
+    def test_difference_flattens_with_threads(self, fig5):
+        by_isa = {r.isa: r.geomean_speedup for r in fig5}
+        spread_1t = by_isa["avx512"][0] - by_isa["sse"][0]
+        spread_32t = by_isa["avx512"][-1] - by_isa["sse"][-1]
+        assert spread_32t < spread_1t / 2
+
+    def test_speedups_decline_with_threads(self, fig5):
+        for row in fig5:
+            values = list(row.geomean_speedup)
+            assert values == sorted(values, reverse=True), row.isa
+
+    def test_large_only_32t_ordering(self, bench):
+        """Paper: 3.80 / 5.13 / 6.03 on large models at 32 threads."""
+        values = {}
+        for isa in ISAS.values():
+            values[isa.name] = geomean(
+                [bench.speedup(n, isa, 32) for n in LARGE_MODELS])
+        print(f"\nlarge-only 32T: sse {values['sse']:.2f} "
+              f"avx2 {values['avx2']:.2f} avx512 {values['avx512']:.2f} "
+              f"(paper 3.80/5.13/6.03)")
+        assert values["sse"] < values["avx2"] < values["avx512"]
+        assert 3.0 < values["sse"] < 6.5
+        assert 5.0 < values["avx512"] < 10.0
+
+    def test_every_isa_wins_at_one_thread(self, fig5):
+        for row in fig5:
+            assert row.geomean_speedup[0] > 1.5, row.isa
+
+    def test_width_ratio_is_sublinear(self, fig5):
+        """8/2 lanes never buys 4x: shared costs and memory bound it."""
+        by_isa = {r.isa: r.geomean_speedup for r in fig5}
+        for i in range(len(THREAD_SWEEP)):
+            ratio = by_isa["avx512"][i] / by_isa["sse"][i]
+            assert ratio < 4.0

@@ -1,0 +1,99 @@
+"""Figure 6 — roofline model, 32 cores AVX-512.
+
+Paper landmarks: ridge point around 4 Flops/Byte; "the majority of
+them are memory-bound"; GrandiPanditVoigt compute-bound near the
+760 GFlops/s peak; OHara and WangSobie close to the memory roof (OHara
+and some mediums exceed the DRAM line thanks to cache residency);
+DrouhardRoberge at ~19 GFlops/s below 1/4 Flops/Byte; Plonsey at the
+bottom-left.
+"""
+
+import pytest
+
+from repro.bench import figure_roofline
+from repro.machine import format_roofline_table
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    points, ceilings = figure_roofline()
+    return {p.model: p for p in points}, ceilings
+
+
+@pytest.mark.figure("fig6")
+def test_fig6_regenerate(benchmark):
+    points, ceilings = benchmark(figure_roofline)
+    print()
+    print("Fig. 6 — roofline, 32 cores AVX-512 (modeled testbed)")
+    print(format_roofline_table(points, ceilings))
+    by_model = {p.model: p for p in points}
+    assert len(points) == 43
+    # majority memory-bound (§4.5)
+    memory_bound = [p for p in points if p.memory_bound]
+    assert len(memory_bound) > len(points) / 2
+    # nothing above peak
+    assert all(p.gflops <= ceilings.peak_gflops * 1.001 for p in points)
+    # GrandiPanditVoigt: compute-bound, among the fastest
+    gpv = by_model["GrandiPanditVoigt"]
+    assert not gpv.memory_bound
+    assert gpv.gflops > 0.25 * ceilings.peak_gflops
+
+
+@pytest.mark.figure("fig6")
+class TestFigure6Landmarks:
+    def test_ridge_point_near_four(self, fig6):
+        _, ceilings = fig6
+        assert 3.0 < ceilings.ridge_point < 4.5
+
+    def test_grandi_pandit_voigt_top_right(self, fig6):
+        points, _ = fig6
+        gpv = points["GrandiPanditVoigt"]
+        others = [p for name, p in points.items()
+                  if name != "GrandiPanditVoigt"]
+        assert gpv.gflops >= sorted(
+            (p.gflops for p in others), reverse=True)[2]
+        assert gpv.operational_intensity > 1.0
+
+    def test_drouhard_roberge_low_intensity(self, fig6):
+        points, _ = fig6
+        dr = points["DrouhardRoberge"]
+        assert dr.operational_intensity < 0.8
+        assert dr.memory_bound
+
+    def test_plonsey_bottom_left(self, fig6):
+        points, _ = fig6
+        plonsey = points["Plonsey"]
+        assert plonsey.gflops == min(p.gflops for p in points.values())
+
+    def test_ohara_and_wangsobie_strong_memory_side(self, fig6):
+        points, ceilings = fig6
+        for name in ("OHara", "WangSobie"):
+            p = points[name]
+            assert p.gflops > 30.0, name
+
+    def test_small_models_low_performance(self, fig6, by_class):
+        points, _ = fig6
+        small_max = max(points[n].gflops for n in by_class["small"])
+        large_max = max(points[n].gflops for n in by_class["large"])
+        assert small_max < large_max / 3
+
+    def test_high_performing_compute_bound_models_are_large(self, fig6):
+        """The compute-bound points near the peak (the paper's
+        GrandiPanditVoigt group) are all large models; small models are
+        bound by memory or per-step overheads, never by useful flops."""
+        points, _ = fig6
+        strong = [p for p in points.values()
+                  if not p.memory_bound and p.gflops > 100.0]
+        assert strong
+        assert all(p.size_class == "large" for p in strong)
+
+    def test_cache_residency_allows_exceeding_dram_roof(self, fig6):
+        """§4.5: 'OHara and some medium models exceed the DRAM
+        bandwidth thanks to their efficient cache usage' — at least
+        some memory-bound models sit above the DRAM-only attainable
+        line."""
+        points, ceilings = fig6
+        above = [p for p in points.values()
+                 if p.memory_bound and p.gflops >
+                 ceilings.attainable_gflops(p.operational_intensity)]
+        assert above

@@ -1,0 +1,64 @@
+"""§5 — the icc `#pragma omp simd` comparator.
+
+Paper: clang and gcc fail to vectorize the loop at all (that is the
+baseline); icc 19.1.3 vectorizes it when annotated with `omp simd` but
+reaches only a 2.19x AVX-512 sweep geomean vs limpetMLIR's 3.37x —
+because the serialized LUT calls and the AoS gathers remain.
+"""
+
+import pytest
+
+from repro.bench import sweep_average_geomean
+from repro.machine import AVX512
+from repro.models import ALL_MODELS, SIZE_CLASS
+
+
+@pytest.mark.figure("sec5")
+def test_icc_sweep_regenerate(benchmark, bench):
+    icc = benchmark(lambda: sweep_average_geomean("icc_simd",
+                                                  bench=bench))
+    mlir = sweep_average_geomean("limpet_mlir", bench=bench)
+    print(f"\n§5 — 1-32T AVX-512 sweep geomean: icc omp-simd {icc:.2f}x "
+          f"vs limpetMLIR {mlir:.2f}x (paper: 2.19x vs 3.37x)")
+    assert icc > 1.0, "icc still beats the scalar baseline"
+    assert icc < mlir, "limpetMLIR must beat icc"
+    ratio = icc / mlir
+    assert 0.4 < ratio < 0.85, f"paper ratio 0.65, ours {ratio:.2f}"
+
+
+@pytest.mark.figure("sec5")
+class TestICCShape:
+    def test_icc_between_baseline_and_mlir_per_model(self, bench):
+        for name in ALL_MODELS:
+            base = bench.seconds(name, "baseline", AVX512, 1)
+            icc = bench.seconds(name, "icc_simd", AVX512, 1)
+            mlir = bench.seconds(name, "limpet_mlir", AVX512, 1)
+            assert mlir <= icc <= base * 1.001, name
+
+    def test_icc_gap_largest_on_lut_heavy_models(self, bench):
+        """Serialized LUT calls are icc's main loss: LUT-heavy models
+        show a bigger limpetMLIR/icc advantage than LUT-free ones."""
+        from repro.models import load_model
+
+        def advantage(name):
+            icc = bench.seconds(name, "icc_simd", AVX512, 1)
+            mlir = bench.seconds(name, "limpet_mlir", AVX512, 1)
+            return icc / mlir
+
+        lut_heavy = advantage("Courtemanche")       # ~30 LUT columns
+        lut_free = advantage("ISAC_Hu")             # no LUT at all
+        assert load_model("ISAC_Hu").lut_tables == []
+        assert lut_heavy > lut_free
+
+    def test_measured_icc_engine_between(self):
+        from repro.bench import run_measured
+        base = run_measured("LuoRudy91", "baseline", n_cells=256,
+                            n_steps=20, runs=3)
+        icc = run_measured("LuoRudy91", "icc_simd", 8, n_cells=256,
+                           n_steps=20, runs=3)
+        mlir = run_measured("LuoRudy91", "limpet_mlir", 8, n_cells=256,
+                            n_steps=20, runs=3)
+        print(f"\nmeasured LuoRudy91: baseline {base.seconds:.3f}s, "
+              f"icc {icc.seconds:.3f}s, limpetMLIR {mlir.seconds:.3f}s")
+        assert mlir.seconds < base.seconds
+        assert icc.seconds < base.seconds

@@ -1,0 +1,103 @@
+"""§7 heterogeneous extension — CPU vs GPU crossover.
+
+The conclusion's ongoing-work paragraph: "enable ionic models not only
+to execute efficiently on CPUs, but also on other heterogeneous
+hardware supported by MLIR.  Having e.g., both CPU and GPU codes can
+further benefit from task-based programming libraries ... such as
+StarPU."  This bench regenerates the data that motivates that remark:
+at the paper's 8192-cell bench size an under-occupied V100 loses to 32
+Cascade Lake cores on most models, while at tissue scale (10^6 cells,
+en route to the heart's "about 2 billion muscle cells") the device wins
+everywhere — exactly the mesh-size-dependent device choice a StarPU
+scheduler would automate.
+"""
+
+import pytest
+
+from repro.bench import kernel_profile
+from repro.codegen import generate_gpu
+from repro.ir.passes import default_pipeline
+from repro.machine import AVX512, CostModel, GPUCostModel, profile_kernel
+from repro.models import SIZE_CLASS, load_model
+
+MODELS = ("Plonsey", "HodgkinHuxley", "Courtemanche",
+          "TenTusscherPanfilov", "OHara", "IyerMazhariWinslow")
+CELL_SWEEP = (8192, 65_536, 1_048_576)
+
+
+@pytest.fixture(scope="module")
+def gpu_profiles():
+    profiles = {}
+    for name in MODELS:
+        kernel = generate_gpu(load_model(name))
+        default_pipeline(verify_each=False).run(kernel.module,
+                                                fixed_point=True)
+        profiles[name] = profile_kernel(kernel.module,
+                                        kernel.spec.function_name)
+    return profiles
+
+
+def crossover_table(gpu_profiles):
+    cpu, gpu = CostModel(), GPUCostModel()
+    rows = {}
+    for name in MODELS:
+        cpu_profile = kernel_profile(name, "limpet_mlir", 8)
+        per_cells = {}
+        for n_cells in CELL_SWEEP:
+            t_cpu = cpu.total_time(cpu_profile, AVX512, 32, n_cells, 1000)
+            t_gpu = gpu.total_time(gpu_profiles[name], n_cells, 1000)
+            per_cells[n_cells] = (t_cpu, t_gpu)
+        rows[name] = per_cells
+    return rows
+
+
+@pytest.mark.figure("sec7-gpu")
+def test_gpu_crossover_regenerate(benchmark, gpu_profiles):
+    rows = benchmark(lambda: crossover_table(gpu_profiles))
+    print("\n§7 — CPU (32T AVX-512) vs GPU (V100 class), 1000 steps, "
+          "modeled seconds:")
+    header = f"{'model':<22} {'class':<7}" + "".join(
+        f"  {n:>9} cells (cpu/gpu)" for n in CELL_SWEEP)
+    print(header)
+    for name, per_cells in rows.items():
+        cells_text = "".join(
+            f"  {cpu_t:>8.2f}s /{gpu_t:>7.2f}s"
+            for cpu_t, gpu_t in per_cells.values())
+        print(f"{name:<22} {SIZE_CLASS[name]:<7}{cells_text}")
+    # at tissue scale the device wins on every model
+    for name, per_cells in rows.items():
+        t_cpu, t_gpu = per_cells[1_048_576]
+        assert t_gpu < t_cpu, name
+    # at the paper's bench size, the CPU keeps medium models
+    t_cpu, t_gpu = rows["Courtemanche"][8192]
+    assert t_cpu < t_gpu
+
+
+@pytest.mark.figure("sec7-gpu")
+class TestGPUShape:
+    def test_gpu_advantage_grows_with_cells(self, gpu_profiles):
+        cpu, gpu = CostModel(), GPUCostModel()
+        cpu_profile = kernel_profile("OHara", "limpet_mlir", 8)
+        ratios = []
+        for n_cells in CELL_SWEEP:
+            t_cpu = cpu.total_time(cpu_profile, AVX512, 32, n_cells, 100)
+            t_gpu = gpu.total_time(gpu_profiles["OHara"], n_cells, 100)
+            ratios.append(t_cpu / t_gpu)
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_small_models_launch_bound_on_gpu(self, gpu_profiles):
+        gpu = GPUCostModel()
+        point = gpu.step_time(gpu_profiles["Plonsey"], 8192)
+        assert point.launch_seconds > 0.5 * (point.seconds
+                                             - point.launch_seconds)
+
+    def test_math_heavy_large_model_wins_even_small_meshes(self,
+                                                           gpu_profiles):
+        """IyerMazhariWinslow's transcendental load saturates the device
+        even at 8192 cells — the one early GPU win."""
+        cpu, gpu = CostModel(), GPUCostModel()
+        cpu_profile = kernel_profile("IyerMazhariWinslow", "limpet_mlir", 8)
+        t_cpu = cpu.total_time(cpu_profile, AVX512, 32, 8192, 100)
+        t_gpu = gpu.total_time(gpu_profiles["IyerMazhariWinslow"], 8192,
+                               100)
+        assert t_gpu < t_cpu

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_*`` file regenerates one of the paper's evaluation
+artifacts (figures 2-6, §3.4.2, §4.4, §5 and the §4.1 class split),
+prints the same rows/series the paper reports, and asserts the *shape*
+of the result (who wins, by roughly what factor, where the crossovers
+fall).  Absolute numbers come from the calibrated machine model; the
+``benchmark`` fixture additionally times the real execution engines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ModeledBench
+from repro.models import ALL_MODELS, SIZE_CLASS
+
+
+@pytest.fixture(scope="session")
+def bench():
+    """A ModeledBench shared by every figure (profiles are cached)."""
+    return ModeledBench()
+
+
+@pytest.fixture(scope="session")
+def by_class():
+    classes = {"small": [], "medium": [], "large": []}
+    for name in ALL_MODELS:
+        classes[SIZE_CLASS[name]].append(name)
+    return classes
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): paper artifact a benchmark regenerates")

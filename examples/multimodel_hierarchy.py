@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Multimodel support (§3.3.2): a plugin current on top of a membrane.
+
+Couples the IK,ACh plugin (IKChCheng) to half the cells of a LuoRudy91
+tissue strip through the parent/offspring mechanism: plugin cells read
+the parent's Vm via masked vector gathers and accumulate their current
+into the parent's Iion via masked scatters; unparented plugin cells
+fall through to their local storage.  The acetylcholine-activated
+potassium current shortens the action potential in the coupled half —
+visible directly in the Vm statistics.
+"""
+
+import numpy as np
+
+from repro import Stimulus, load_model
+from repro.runtime import HierarchicalSimulation
+
+
+def main() -> None:
+    parent = load_model("LuoRudy91")
+    plugin = load_model("IKChCheng")
+
+    n_cells = 64
+    sim = HierarchicalSimulation(parent, n_cells=n_cells, width=8)
+    coupled = list(range(n_cells // 2))       # plugin on cells 0..31
+    sim.attach_plugin(plugin, coupled)
+    print(f"parent: LuoRudy91 ({len(parent.states)} states), "
+          f"plugin: IKChCheng on cells 0..{n_cells // 2 - 1}")
+
+    stimulus = Stimulus(amplitude=-30.0, duration=1.0, period=300.0)
+    dt, n_steps = 0.01, 20_000
+    apd_samples = {"with IK,ACh": [], "without": []}
+    for step in range(n_steps):
+        sim.step(dt, stimulus)
+        vm = sim.parent_vm()
+        apd_samples["with IK,ACh"].append((vm[:32] > -40.0).mean())
+        apd_samples["without"].append((vm[32:] > -40.0).mean())
+
+    vm = sim.parent_vm()
+    print(f"\nafter {n_steps * dt:.0f} ms of pacing:")
+    print(f"  coupled half   Vm = {vm[:32].mean():8.3f} mV")
+    print(f"  uncoupled half Vm = {vm[32:].mean():8.3f} mV")
+    frac_with = float(np.mean(apd_samples["with IK,ACh"]))
+    frac_without = float(np.mean(apd_samples["without"]))
+    print(f"  time above -40 mV: {frac_with * 100:.2f}% (with plugin) "
+          f"vs {frac_without * 100:.2f}% (without)")
+    assert np.isfinite(vm).all()
+    assert abs(vm[:32].mean() - vm[32:].mean()) > 1e-6, \
+        "the plugin current must leave a visible footprint"
+    print("\nthe IK,ACh plugin measurably changes the coupled cells, "
+          "exactly as openCARP's plugin mechanism intends.")
+
+    r = sim.plugin_state(0, "r")
+    print(f"plugin receptor state r: mean {r.mean():.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Benchmark harness: measured engines + the modeled Cascade Lake bench."""
+
+from .harness import (PAPER_CELLS, PAPER_DT, PAPER_STEPS, VARIANTS,
+                      BenchConfig, MeasuredRun, ModeledBench, ModeledRun,
+                      generate_variant, kernel_profile, run_measured)
+from .report import (THREAD_SWEEP, figure_isa_sweep, figure_roofline,
+                     figure_scaling, figure_speedups, format_isa_sweep,
+                     format_scaling_table, format_speedup_table,
+                     sweep_average_geomean)
+from .timing import geomean, measure, trimmed_mean
+
+__all__ = ["PAPER_CELLS", "PAPER_DT", "PAPER_STEPS", "VARIANTS",
+           "BenchConfig", "MeasuredRun", "ModeledBench", "ModeledRun",
+           "generate_variant", "kernel_profile", "run_measured",
+           "THREAD_SWEEP", "figure_isa_sweep", "figure_roofline",
+           "figure_scaling", "figure_speedups", "format_isa_sweep",
+           "format_scaling_table", "format_speedup_table",
+           "sweep_average_geomean", "geomean", "measure", "trimmed_mean"]

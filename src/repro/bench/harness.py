@@ -1,0 +1,185 @@
+"""The bench-binary analog: build, run and model every configuration.
+
+openCARP ships a ``bench`` executable that runs a 100,000-step
+simulation of one ionic model over a mesh of cells (§4).  This module
+is its equivalent entry point, in two modes:
+
+* **measured** — wall-clock of the two real execution engines
+  (scalar-interpreted baseline vs NumPy-vectorized limpetMLIR kernels),
+  at a laptop-friendly scale;
+* **modeled** — the calibrated Cascade Lake cost model evaluated on the
+  kernels' actual IR at the paper's scale (8192 cells, 100k steps, 1–32
+  threads, SSE/AVX2/AVX-512), which regenerates every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from ..codegen import (BackendMode, GeneratedKernel, generate_baseline,
+                       generate_icc_simd, generate_limpet_mlir)
+from ..frontend import IonicModel
+from ..ir.passes import default_pipeline
+from ..machine import (AVX512, CostModel, KernelProfile, VectorISA,
+                       profile_kernel)
+from ..models import SIZE_CLASS, load_model
+from ..runtime import KernelRunner, Stimulus
+from .timing import measure
+
+#: the paper's bench defaults (§4): 100k steps of 0.01 ms over 8192 cells
+PAPER_CELLS = 8192
+PAPER_STEPS = 100_000
+PAPER_DT = 0.01
+
+#: backend variants the evaluation exercises
+VARIANTS = ("baseline", "limpet_mlir", "limpet_mlir_aos", "icc_simd",
+            "limpet_mlir_nolut", "baseline_nolut")
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """One bench invocation's parameters."""
+
+    n_cells: int = PAPER_CELLS
+    n_steps: int = PAPER_STEPS
+    dt: float = PAPER_DT
+    stimulus_amplitude: float = -20.0
+    stimulus_period: float = 400.0
+    perturbation: float = 0.005
+
+    def stimulus_for(self, model: IonicModel) -> Stimulus:
+        amplitude = self.stimulus_amplitude
+        # normalized-voltage models (resting near 0) get a small pulse
+        if abs(model.external_init.get("Vm", 0.0)) < 5.0:
+            amplitude = -0.3
+        return Stimulus(amplitude=amplitude, duration=1.0,
+                        period=self.stimulus_period)
+
+
+def generate_variant(model: IonicModel, variant: str,
+                     width: int = 8) -> GeneratedKernel:
+    """Build one backend variant's kernel for ``model``."""
+    if variant == "baseline":
+        return generate_baseline(model)
+    if variant == "baseline_nolut":
+        return generate_baseline(model, use_lut=False)
+    if variant == "limpet_mlir":
+        return generate_limpet_mlir(model, width)
+    if variant == "limpet_mlir_aos":
+        return generate_limpet_mlir(model, width, data_layout_opt=False)
+    if variant == "limpet_mlir_nolut":
+        return generate_limpet_mlir(model, width, use_lut=False)
+    if variant == "icc_simd":
+        return generate_icc_simd(model, width)
+    raise ValueError(f"unknown variant {variant!r}; one of {VARIANTS}")
+
+
+@lru_cache(maxsize=512)
+def _cached_profile(model_name: str, variant: str,
+                    width: int) -> KernelProfile:
+    model = load_model(model_name)
+    kernel = generate_variant(model, variant, width)
+    default_pipeline(verify_each=False).run(kernel.module, fixed_point=True)
+    return profile_kernel(kernel.module, kernel.spec.function_name)
+
+
+@lru_cache(maxsize=256)
+def _cached_runner(model_name: str, variant: str, width: int) -> KernelRunner:
+    model = load_model(model_name)
+    return KernelRunner(generate_variant(model, variant, width))
+
+
+def kernel_profile(model_name: str, variant: str = "limpet_mlir",
+                   width: int = 8) -> KernelProfile:
+    """The optimized kernel's instruction profile (cached)."""
+    return _cached_profile(model_name, variant, width)
+
+
+_VARIANT_MODE = {
+    "baseline": BackendMode.BASELINE,
+    "baseline_nolut": BackendMode.BASELINE,
+    "limpet_mlir": BackendMode.LIMPET_MLIR,
+    "limpet_mlir_aos": BackendMode.LIMPET_MLIR,
+    "limpet_mlir_nolut": BackendMode.LIMPET_MLIR,
+    "icc_simd": BackendMode.ICC_SIMD,
+}
+
+
+@dataclass
+class ModeledRun:
+    """Cost-model evaluation of one (model, variant, isa, threads) point."""
+
+    model: str
+    variant: str
+    isa: str
+    threads: int
+    seconds: float
+    size_class: str
+
+
+class ModeledBench:
+    """Evaluates the full suite on the modeled Cascade Lake testbed."""
+
+    def __init__(self, cost_model: Optional[CostModel] = None,
+                 n_cells: int = PAPER_CELLS, n_steps: int = PAPER_STEPS):
+        self.cost = cost_model or CostModel()
+        self.n_cells = n_cells
+        self.n_steps = n_steps
+
+    def seconds(self, model_name: str, variant: str = "limpet_mlir",
+                isa: VectorISA = AVX512, threads: int = 1) -> float:
+        width = 1 if variant.startswith("baseline") else isa.width
+        profile = kernel_profile(model_name, variant, width)
+        return self.cost.total_time(profile, isa, threads, self.n_cells,
+                                    self.n_steps, _VARIANT_MODE[variant])
+
+    def run(self, model_name: str, variant: str = "limpet_mlir",
+            isa: VectorISA = AVX512, threads: int = 1) -> ModeledRun:
+        return ModeledRun(model=model_name, variant=variant, isa=isa.name,
+                          threads=threads,
+                          seconds=self.seconds(model_name, variant, isa,
+                                               threads),
+                          size_class=SIZE_CLASS[model_name])
+
+    def speedup(self, model_name: str, isa: VectorISA = AVX512,
+                threads: int = 1, variant: str = "limpet_mlir") -> float:
+        """baseline time / variant time at the same point (Fig. 2/3)."""
+        return (self.seconds(model_name, "baseline", isa, threads)
+                / self.seconds(model_name, variant, isa, threads))
+
+
+@dataclass
+class MeasuredRun:
+    """Wall-clock of one real-engine execution."""
+
+    model: str
+    variant: str
+    width: int
+    n_cells: int
+    n_steps: int
+    seconds: float
+
+
+def run_measured(model_name: str, variant: str = "limpet_mlir",
+                 width: int = 8, n_cells: int = 512, n_steps: int = 50,
+                 dt: float = PAPER_DT, runs: int = 5,
+                 config: Optional[BenchConfig] = None) -> MeasuredRun:
+    """Time a real execution with the paper's 5-run protocol.
+
+    Scales are smaller than the paper's (the baseline engine is an
+    interpreter); speedup *ratios* between variants are the meaningful
+    output.
+    """
+    runner = _cached_runner(model_name, variant, width)
+    config = config or BenchConfig(n_cells=n_cells, n_steps=n_steps, dt=dt)
+    stimulus = config.stimulus_for(runner.model)
+
+    def one_run():
+        runner.simulate(n_cells, n_steps, dt, stimulus,
+                        perturbation=config.perturbation)
+
+    seconds = measure(one_run, runs=runs)
+    return MeasuredRun(model=model_name, variant=variant, width=width,
+                       n_cells=n_cells, n_steps=n_steps, seconds=seconds)

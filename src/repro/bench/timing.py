@@ -1,0 +1,52 @@
+"""The paper's measurement protocol (§4).
+
+"Execution times were measured by running the models five times,
+eliminating the two extrema, and averaging the remaining three."
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, List, Sequence
+
+DEFAULT_RUNS = 5
+DEFAULT_TRIMMED = 3
+
+
+def trimmed_mean(samples: Sequence[float],
+                 keep: int = DEFAULT_TRIMMED) -> float:
+    """Drop extrema symmetrically until ``keep`` samples remain; average.
+
+    With the paper's 5 runs this removes the min and the max.
+    """
+    if not samples:
+        raise ValueError("no samples to average")
+    ordered = sorted(samples)
+    keep = max(1, min(keep, len(ordered)))
+    drop_total = len(ordered) - keep
+    drop_low = drop_total // 2
+    drop_high = drop_total - drop_low
+    kept = ordered[drop_low:len(ordered) - drop_high]
+    return sum(kept) / len(kept)
+
+
+def measure(fn: Callable[[], object], runs: int = DEFAULT_RUNS,
+            keep: int = DEFAULT_TRIMMED) -> float:
+    """Time ``fn`` with the paper's 5-run / drop-2-extrema protocol."""
+    samples: List[float] = []
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return trimmed_mean(samples, keep)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean, the paper's aggregate for speedups (§4)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,202 @@
+"""``limpet-bench`` — the command-line front door.
+
+Subcommands:
+
+* ``list`` — the 43-model suite with size classes;
+* ``describe MODEL`` — the frontend's analysis of one model;
+* ``ir MODEL`` — print the generated IR (``--pretty`` for MLIR-like
+  sugar, ``--backend`` to pick the code generator);
+* ``run MODEL`` — execute a real simulation and report wall time;
+* ``compare MODEL`` — run baseline and limpetMLIR engines, check the
+  trajectories agree and report the measured speedup;
+* ``figure {fig2,fig3,fig4,fig5,fig6}`` — regenerate a paper figure's
+  data from the modeled Cascade Lake bench.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import (figure_isa_sweep, figure_roofline,
+                    figure_scaling, figure_speedups, format_isa_sweep,
+                    format_scaling_table, format_speedup_table,
+                    generate_variant, run_measured)
+from .codegen import (check_simd_legality, generate_baseline, generate_limpet_mlir)
+from .ir import print_module
+from .ir.passes import default_pipeline
+from .machine import format_roofline_table
+from .models import (ALL_MODELS, UNSUPPORTED_MODELS,
+                     all_model_files, list_models, load_model)
+from .runtime import KernelRunner, Stimulus, compare_trajectories
+
+
+def _add_model_argument(parser: argparse.ArgumentParser,
+                        include_unsupported: bool = False) -> None:
+    choices = all_model_files() if include_unsupported else ALL_MODELS
+    parser.add_argument("model", choices=choices, metavar="MODEL",
+                        help="ionic model name (see 'limpet-bench list')")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="limpet-bench",
+        description="limpetMLIR reproduction bench (CGO'23)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the 43-model suite")
+
+    describe = sub.add_parser("describe", help="frontend analysis summary")
+    _add_model_argument(describe, include_unsupported=True)
+
+    legality = sub.add_parser(
+        "legality", help="check the paper's SIMD criteria (paper section 5)")
+    _add_model_argument(legality, include_unsupported=True)
+
+    ir_cmd = sub.add_parser("ir", help="print generated IR")
+    _add_model_argument(ir_cmd)
+    ir_cmd.add_argument("--backend", default="limpet_mlir",
+                        choices=("baseline", "limpet_mlir", "icc_simd"))
+    ir_cmd.add_argument("--width", type=int, default=8,
+                        choices=(2, 4, 8))
+    ir_cmd.add_argument("--pretty", action="store_true",
+                        help="MLIR-like sugared syntax")
+    ir_cmd.add_argument("--no-opt", action="store_true",
+                        help="skip the pass pipeline")
+
+    run_cmd = sub.add_parser("run", help="run a real simulation")
+    _add_model_argument(run_cmd)
+    run_cmd.add_argument("--backend", default="limpet_mlir",
+                         choices=("baseline", "limpet_mlir", "icc_simd"))
+    run_cmd.add_argument("--width", type=int, default=8, choices=(2, 4, 8))
+    run_cmd.add_argument("--cells", type=int, default=1024)
+    run_cmd.add_argument("--steps", type=int, default=200)
+    run_cmd.add_argument("--dt", type=float, default=0.01)
+
+    compare = sub.add_parser(
+        "compare", help="baseline vs limpetMLIR: equivalence + speedup")
+    _add_model_argument(compare)
+    compare.add_argument("--cells", type=int, default=512)
+    compare.add_argument("--steps", type=int, default=100)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("which",
+                        choices=("fig2", "fig3", "fig4", "fig5", "fig6"))
+    return parser
+
+
+def cmd_list() -> int:
+    print(f"{'model':<24} {'class':<8} {'limpetMLIR':<11} {'source'}")
+    for entry in list_models():
+        source = "literature" if entry.hand_written else "synthesized"
+        print(f"{entry.name:<24} {entry.size_class:<8} {'yes':<11} "
+              f"{source}")
+    for name in UNSUPPORTED_MODELS:
+        print(f"{name:<24} {'small':<8} {'no (foreign)':<11} literature")
+    print(f"\n{len(all_model_files())} models shipped, "
+          f"{len(ALL_MODELS)} limpetMLIR-supported "
+          f"(8 small / 22 medium / 13 large), 4 baseline-only — "
+          f"matching the paper (section 3.3.2, section 4.1)")
+    return 0
+
+
+def cmd_legality(model_name: str) -> int:
+    report = check_simd_legality(load_model(model_name))
+    print(report.describe())
+    return 0 if report.vectorizable else 1
+
+
+def cmd_describe(model_name: str) -> int:
+    model = load_model(model_name)
+    print(model.describe())
+    for warning in model.warnings:
+        print(f"warning: {warning}")
+    return 0
+
+
+def cmd_ir(model_name: str, backend: str, width: int, pretty: bool,
+           no_opt: bool) -> int:
+    model = load_model(model_name)
+    kernel = generate_variant(model, backend, width)
+    if not no_opt:
+        default_pipeline(verify_each=False).run(kernel.module,
+                                                fixed_point=True)
+    sys.stdout.write(print_module(kernel.module, pretty=pretty))
+    return 0
+
+
+def cmd_run(model_name: str, backend: str, width: int, cells: int,
+            steps: int, dt: float) -> int:
+    result = run_measured(model_name, backend, width, cells, steps, dt,
+                          runs=3)
+    per_cell_step = result.seconds / (cells * steps) * 1e9
+    print(f"{model_name} [{backend}, width {width}]: "
+          f"{cells} cells x {steps} steps in {result.seconds * 1e3:.1f} ms "
+          f"({per_cell_step:.1f} ns/cell-step)")
+    return 0
+
+
+def cmd_compare(model_name: str, cells: int, steps: int) -> int:
+    model = load_model(model_name)
+    base = KernelRunner(generate_baseline(model))
+    vec = KernelRunner(generate_limpet_mlir(model, 8))
+    stim = Stimulus(amplitude=-20.0 if
+                    abs(model.external_init.get("Vm", 0.0)) > 5 else -0.3,
+                    duration=1.0, period=400.0)
+    res_base = base.simulate(cells, steps, stimulus=stim, perturbation=0.005)
+    res_vec = vec.simulate(cells, steps, stimulus=stim, perturbation=0.005)
+    equal = compare_trajectories(res_base.state, res_vec.state)
+    speedup = res_base.elapsed_seconds / res_vec.elapsed_seconds
+    print(f"{model_name}: baseline {res_base.elapsed_seconds * 1e3:.1f} ms, "
+          f"limpetMLIR {res_vec.elapsed_seconds * 1e3:.1f} ms "
+          f"-> measured speedup {speedup:.1f}x")
+    print(f"trajectories equivalent: {equal}")
+    return 0 if equal else 1
+
+
+def cmd_figure(which: str) -> int:
+    if which == "fig2":
+        bars = figure_speedups(threads=1)
+        print(format_speedup_table(
+            bars, "Fig. 2 — speedup vs baseline, 1 thread, AVX-512 "
+            "(modeled testbed)"))
+    elif which == "fig3":
+        bars = figure_speedups(threads=32)
+        print(format_speedup_table(
+            bars, "Fig. 3 — speedup vs baseline, 32 threads, AVX-512 "
+            "(modeled testbed)"))
+    elif which == "fig4":
+        print(format_scaling_table(figure_scaling()))
+    elif which == "fig5":
+        print(format_isa_sweep(figure_isa_sweep()))
+    elif which == "fig6":
+        points, ceilings = figure_roofline()
+        print("Fig. 6 — roofline, 32 cores AVX-512 (modeled testbed)")
+        print(format_roofline_table(points, ceilings))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "describe":
+        return cmd_describe(args.model)
+    if args.command == "legality":
+        return cmd_legality(args.model)
+    if args.command == "ir":
+        return cmd_ir(args.model, args.backend, args.width, args.pretty,
+                      args.no_opt)
+    if args.command == "run":
+        return cmd_run(args.model, args.backend, args.width, args.cells,
+                       args.steps, args.dt)
+    if args.command == "compare":
+        return cmd_compare(args.model, args.cells, args.steps)
+    if args.command == "figure":
+        return cmd_figure(args.which)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

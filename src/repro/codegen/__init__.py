@@ -1,0 +1,17 @@
+"""Code generators: baseline (limpetC++ analog), limpetMLIR, icc_simd."""
+
+from .common import BackendMode, ExprEmitter, GeneratedKernel, KernelSpec
+from .layout import Layout, LayoutKind, aos, aosoa, soa, pack_state, unpack_state
+from .limpet_c import generate_baseline
+from .limpet_mlir import generate_icc_simd, generate_limpet_mlir
+from .multimodel import generate_plugin
+from .legality import (Finding, LegalityReport, check_simd_legality)
+from .gpu import generate_gpu
+from .common import UnsupportedModelError
+
+__all__ = ["BackendMode", "ExprEmitter", "GeneratedKernel", "KernelSpec",
+           "Layout", "LayoutKind", "aos", "aosoa", "soa", "pack_state",
+           "unpack_state", "generate_baseline", "generate_icc_simd",
+           "generate_limpet_mlir", "generate_plugin", "Finding",
+           "LegalityReport", "check_simd_legality", "UnsupportedModelError",
+           "generate_gpu"]

@@ -1,0 +1,123 @@
+"""GPU (SIMT) code generation — the §7 heterogeneous extension.
+
+Emits the compute kernel as a ``gpu.launch`` with a grid-stride loop:
+each GPU thread owns one cell per stride, executing *scalar* per-cell
+code (the SIMT model — the warp, not the instruction, provides the
+parallelism).  Consequences faithful to real GPU ports of openCARP-like
+codes:
+
+* the state layout is **SoA** (coalescing wants consecutive threads on
+  consecutive cells of the same variable — the GPU analog of §3.4.1);
+* LUT interpolation is the scalar routine per thread (texture-style
+  gathers in the cost model);
+* math calls map to the device's libdevice equivalents.
+
+The runtime executes SIMT kernels with the same lane-flattening trick
+as the vector backend: every thread's scalar op becomes one NumPy
+element.  The V100-class cost model in :mod:`repro.machine.gpu` prices
+the same IR for Fig.-style CPU-vs-GPU comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..frontend.model import IonicModel
+from ..ir.builder import IRBuilder
+from ..ir.core import Module, Value
+from ..ir.dialects import arith, func as func_dialect, gpu, memref, scf
+from ..ir.types import f64, index, memref_of
+from .common import (BackendMode, ExprEmitter, GeneratedKernel, KernelSpec,
+                     UnsupportedModelError)
+from .integrators import emit_state_updates
+from .layout import soa
+from .lut import LUT_MEMREF, declare_interp_functions, emit_scalar_interp
+
+STATE_MEMREF = memref_of(f64)
+EXT_MEMREF = memref_of(f64)
+
+#: CUDA-style launch geometry: enough resident threads to cover the
+#: paper's 8192-cell meshes in one stride
+DEFAULT_BLOCK_SIZE = 128
+DEFAULT_GRID_SIZE = 64
+
+
+def generate_gpu(model: IonicModel, use_lut: bool = True,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 grid_size: int = DEFAULT_GRID_SIZE,
+                 function_name: Optional[str] = None) -> GeneratedKernel:
+    """Generate the SIMT compute kernel for ``model``."""
+    if model.foreign_functions:
+        raise UnsupportedModelError(
+            f"model {model.name}: foreign function(s) "
+            f"{sorted(model.foreign_functions)} have no device "
+            f"implementation; GPU execution is unsupported")
+    layout = soa(model.n_states)
+    spec = KernelSpec(model=model, mode=BackendMode.LIMPET_MLIR, width=1,
+                      layout=layout, use_lut=use_lut,
+                      function_name=function_name
+                      or f"compute_gpu_{model.name}")
+    module = Module(f"{model.name}_gpu")
+    if spec.use_lut and model.lut_tables:
+        declare_interp_functions(module, model, vectorized=False, width=1)
+
+    arg_types = [index, index, f64, f64, STATE_MEMREF]
+    arg_types += [EXT_MEMREF] * len(model.externals)
+    if spec.use_lut:
+        arg_types += [LUT_MEMREF] * len(model.lut_tables)
+    arg_names = spec.argument_names()
+    kernel = func_dialect.func(module, spec.function_name, arg_types, [],
+                               arg_hints=arg_names)
+    args = dict(zip(arg_names, kernel.args))
+    b = IRBuilder(kernel.entry)
+
+    launch = gpu.launch(b, grid_size, block_size)
+    with b.at_end_of(launch.body):
+        b.set_insertion_point_before(launch.body.terminator)
+        tid = gpu.global_id(b)
+        stride = gpu.grid_dim(b)
+        # grid-stride loop: for (i = start + tid; i < end; i += stride)
+        first = arith.addi(b, args["start"], tid)
+        loop = scf.for_op(b, first, args["end"], stride, iv_hint="i")
+        loop.op.attributes["cell_loop"] = True
+        loop.op.attributes["vector_width"] = 1
+        loop.op.attributes["layout"] = str(layout)
+        loop.op.attributes["simt"] = True
+        with b.at_end_of(loop.body):
+            i = loop.induction_var
+            env: Dict[str, Value] = {}
+            for ext in model.externals:
+                env[ext] = memref.load(b, args[f"{ext}_ext"], [i])
+            # SoA addressing: offset = slot * n_alloc + i; n_alloc is
+            # the padded allocation, which equals `end` for GPU runs
+            for slot, state in enumerate(model.states):
+                offset = arith.addi(
+                    b, arith.muli(b, b.constant(slot, index), args["end"]),
+                    i)
+                env[state] = memref.load(b, args["sv"], [offset])
+            lut_served = set()
+            if spec.use_lut:
+                for table in model.lut_tables:
+                    emit_scalar_interp(b, table, args[f"lut_{table.var}"],
+                                       env[table.var], env)
+                    lut_served.update(table.column_names)
+            emitter = ExprEmitter(b, env, width=1)
+            for const_name, const_value in {**model.params,
+                                            **model.folded_constants}.items():
+                env[const_name] = emitter._const(const_value)
+            for comp in model.computations:
+                if comp.target in lut_served:
+                    continue
+                env[comp.target] = emitter.emit(comp.expr)
+            new_values = emit_state_updates(b, model, env, width=1,
+                                            dt=args["dt"])
+            for slot, state in enumerate(model.states):
+                offset = arith.addi(
+                    b, arith.muli(b, b.constant(slot, index), args["end"]),
+                    i)
+                memref.store(b, new_values[state], args["sv"], [offset])
+            for ext in model.outputs:
+                memref.store(b, env[ext], args[f"{ext}_ext"], [i])
+            scf.yield_op(b)
+    func_dialect.ret(b)
+    return GeneratedKernel(module=module, spec=spec, layout=layout)

@@ -1,0 +1,146 @@
+"""State-variable data layouts (paper §3.4.1).
+
+openCARP stores each cell's state variables contiguously (an
+array-of-structures, AoS).  limpetMLIR's data-layout transformation
+rearranges the same state variable of ``block`` successive cells
+consecutively — array-of-structures-of-arrays (AoSoA) — so a vector of
+cells is loaded with one contiguous hardware load instead of a gather.
+
+The layout object answers one question for both the code generators and
+the runtime: *where does (cell i, state slot s) live in the flat state
+buffer?*
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+class LayoutKind(enum.Enum):
+    AOS = "aos"
+    SOA = "soa"
+    AOSOA = "aosoa"
+
+
+@dataclass(frozen=True)
+class Layout:
+    """A concrete layout for ``n_states`` state variables.
+
+    ``block`` is only meaningful for AoSoA; it equals the SIMD width in
+    limpetMLIR's transformation.
+    """
+
+    kind: LayoutKind
+    n_states: int
+    block: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_states < 0:
+            raise ValueError("n_states must be >= 0")
+        if self.kind is LayoutKind.AOSOA and self.block < 1:
+            raise ValueError("AoSoA requires a positive block size")
+
+    # -- size -------------------------------------------------------------------
+
+    def padded_cells(self, n_cells: int) -> int:
+        """Cell count rounded up to a whole number of blocks."""
+        if self.kind is LayoutKind.AOSOA:
+            blocks = -(-n_cells // self.block)
+            return blocks * self.block
+        return n_cells
+
+    def buffer_size(self, n_cells: int) -> int:
+        return self.padded_cells(n_cells) * self.n_states
+
+    # -- addressing ----------------------------------------------------------------
+
+    def offset(self, cell: int, slot: int, n_cells: int) -> int:
+        """Flat index of (cell, slot); ``n_cells`` is the allocated count."""
+        if not 0 <= slot < max(self.n_states, 1):
+            raise IndexError(f"state slot {slot} out of range")
+        if self.kind is LayoutKind.AOS:
+            return cell * self.n_states + slot
+        if self.kind is LayoutKind.SOA:
+            return slot * self.padded_cells(n_cells) + cell
+        block_idx, lane = divmod(cell, self.block)
+        return (block_idx * self.n_states * self.block
+                + slot * self.block + lane)
+
+    def offsets(self, cells: np.ndarray, slot: int,
+                n_cells: int) -> np.ndarray:
+        """Vectorized :meth:`offset` for an array of cell indices."""
+        cells = np.asarray(cells, dtype=np.int64)
+        if self.kind is LayoutKind.AOS:
+            return cells * self.n_states + slot
+        if self.kind is LayoutKind.SOA:
+            return slot * self.padded_cells(n_cells) + cells
+        block_idx, lane = np.divmod(cells, self.block)
+        return (block_idx * self.n_states * self.block
+                + slot * self.block + lane)
+
+    # -- properties the code generators key on -------------------------------------------
+
+    def vector_load_is_contiguous(self, width: int) -> bool:
+        """True when ``width`` consecutive cells of one slot are contiguous.
+
+        This is the whole point of the AoSoA transformation: with
+        ``block == width`` a lane-per-cell vector load is one contiguous
+        load; under AoS it must be a gather (stride = n_states), and
+        under SoA it is contiguous for any width.
+        """
+        if self.kind is LayoutKind.SOA:
+            return True
+        if self.kind is LayoutKind.AOSOA:
+            return self.block >= width and self.block % width == 0
+        return self.n_states == 1
+
+    @property
+    def gather_stride(self) -> int:
+        """Element stride between the same slot of consecutive cells (AoS)."""
+        return self.n_states if self.kind is LayoutKind.AOS else 1
+
+    def __str__(self) -> str:
+        if self.kind is LayoutKind.AOSOA:
+            return f"aosoa(block={self.block})"
+        return self.kind.value
+
+
+def aos(n_states: int) -> Layout:
+    """openCARP's original array-of-structures layout."""
+    return Layout(LayoutKind.AOS, n_states)
+
+
+def soa(n_states: int) -> Layout:
+    """Structure-of-arrays: fully transposed (contiguous but far apart)."""
+    return Layout(LayoutKind.SOA, n_states)
+
+
+def aosoa(n_states: int, block: int) -> Layout:
+    """limpetMLIR's array-of-structures-of-blocks layout (§3.4.1)."""
+    return Layout(LayoutKind.AOSOA, n_states, block)
+
+
+def pack_state(values: np.ndarray, layout: Layout) -> np.ndarray:
+    """Pack a (n_cells, n_states) matrix into a flat buffer per ``layout``."""
+    n_cells, n_states = values.shape
+    if n_states != layout.n_states:
+        raise ValueError(f"expected {layout.n_states} states, got {n_states}")
+    buffer = np.zeros(layout.buffer_size(n_cells), dtype=np.float64)
+    cells = np.arange(n_cells)
+    for slot in range(n_states):
+        buffer[layout.offsets(cells, slot, n_cells)] = values[:, slot]
+    return buffer
+
+
+def unpack_state(buffer: np.ndarray, layout: Layout,
+                 n_cells: int) -> np.ndarray:
+    """Inverse of :func:`pack_state`: recover the (n_cells, n_states) view."""
+    values = np.empty((n_cells, layout.n_states), dtype=np.float64)
+    cells = np.arange(n_cells)
+    for slot in range(layout.n_states):
+        values[:, slot] = buffer[layout.offsets(cells, slot, n_cells)]
+    return values

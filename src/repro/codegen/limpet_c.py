@@ -1,0 +1,131 @@
+"""Baseline code generator — the limpetC++ analog.
+
+Produces the straightforward scalar translation openCARP ships
+(Listing 2 of the paper): one cell per loop iteration, AoS state
+access, scalar LUT interpolation, and the integration updates emitted
+inline.  The loop is annotated ``omp parallel for schedule(static)``
+like the original; vectorization is left to "the compiler", i.e. it
+does not happen.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..frontend.model import IonicModel
+from ..ir.builder import IRBuilder
+from ..ir.core import Module, Value
+from ..ir.dialects import arith, func as func_dialect, memref, scf
+from ..ir.types import f64, index, memref_of
+from .common import BackendMode, ExprEmitter, GeneratedKernel, KernelSpec
+from .integrators import emit_state_updates
+from .layout import Layout, aos
+from .lut import LUT_MEMREF, declare_interp_functions, emit_scalar_interp
+
+STATE_MEMREF = memref_of(f64)
+EXT_MEMREF = memref_of(f64)
+
+
+def generate_baseline(model: IonicModel, use_lut: bool = True,
+                      lut_interpolation: str = "linear",
+                      function_name: str = None) -> GeneratedKernel:
+    """Generate the scalar baseline compute kernel for ``model``."""
+    if lut_interpolation not in ("linear", "spline"):
+        raise ValueError(f"unknown LUT interpolation {lut_interpolation!r}")
+    spec = KernelSpec(model=model, mode=BackendMode.BASELINE, width=1,
+                      layout=aos(model.n_states), use_lut=use_lut,
+                      lut_interpolation=lut_interpolation,
+                      function_name=function_name or f"compute_{model.name}")
+    return _emit(spec)
+
+
+def _emit(spec: KernelSpec) -> GeneratedKernel:
+    model = spec.model
+    layout: Layout = spec.layout
+    module = Module(f"{model.name}_baseline")
+    if spec.use_lut and model.lut_tables:
+        declare_interp_functions(module, model, vectorized=False, width=1,
+                                 spline=spec.lut_interpolation == "spline")
+    _declare_foreign_functions(module, model)
+
+    arg_types = [index, index, f64, f64, STATE_MEMREF]
+    arg_types += [EXT_MEMREF] * len(model.externals)
+    if spec.use_lut:
+        arg_types += [LUT_MEMREF] * len(model.lut_tables)
+    arg_names = spec.argument_names()
+    kernel = func_dialect.func(module, spec.function_name, arg_types, [],
+                               arg_hints=arg_names)
+    args = dict(zip(arg_names, kernel.args))
+    b = IRBuilder(kernel.entry)
+
+    start, end = args["start"], args["end"]
+    dt = args["dt"]
+    one = b.constant(1, index)
+    n_states = b.constant(model.n_states, index)
+
+    loop = scf.for_op(b, start, end, one, iv_hint="i")
+    loop.op.attributes["cell_loop"] = True
+    loop.op.attributes["vector_width"] = 1
+    loop.op.attributes["layout"] = str(layout)
+    loop.op.attributes["parallel"] = True  # '#pragma omp parallel for'
+    with b.at_end_of(loop.body):
+        i = loop.induction_var
+        env: Dict[str, Value] = {}
+        # Initialize the ext vars to current values (Listing 2, line 5).
+        for ext in model.externals:
+            env[ext] = memref.load(b, args[f"{ext}_ext"], [i])
+        # Retrieve the per-cell state struct: sv = sv_base + __i (AoS).
+        base = arith.muli(b, i, n_states)
+        for slot, state in enumerate(model.states):
+            offset = arith.addi(b, base, b.constant(slot, index))
+            env[state] = memref.load(b, args["sv"], [offset])
+        # Compute lookup tables (Listing 2, lines 6-8), scalar interp.
+        lut_served = set()
+        if spec.use_lut:
+            for table in model.lut_tables:
+                emit_scalar_interp(b, table, args[f"lut_{table.var}"],
+                                   env[table.var], env,
+                                   spline=spec.lut_interpolation == "spline")
+                lut_served.update(table.column_names)
+        # Compute storevars and external modvars.
+        emitter = ExprEmitter(b, env, width=1,
+                              foreign=model.foreign_functions)
+        # Constant-qualified values the preprocessor folded (§3.2) are
+        # still nameable (e.g. a constant gate time constant); bind them
+        # as constants — DCE erases the unused ones.
+        for const_name, const_value in {**model.params,
+                                        **model.folded_constants}.items():
+            env[const_name] = emitter._const(const_value)
+        for comp in model.computations:
+            if comp.target in lut_served:
+                continue
+            env[comp.target] = emitter.emit(comp.expr)
+        # Complete the integration updates.
+        new_values = emit_state_updates(b, model, env, width=1, dt=dt)
+        # Finish the update: write the state struct back.
+        for slot, state in enumerate(model.states):
+            offset = arith.addi(b, base, b.constant(slot, index))
+            memref.store(b, new_values[state], args["sv"], [offset])
+        # Save all external vars (Listing 2, line 31).
+        for ext in model.outputs:
+            memref.store(b, env[ext], args[f"{ext}_ext"], [i])
+        scf.yield_op(b)
+    func_dialect.ret(b)
+    return GeneratedKernel(module=module, spec=spec, layout=layout)
+
+
+def _declare_foreign_functions(module: Module, model: IonicModel) -> None:
+    """``func.func private`` declarations for foreign (external C) calls."""
+    from ..easyml.ast_nodes import Call, walk_expr
+
+    arities: Dict[str, int] = {}
+    exprs = [c.expr for c in model.computations]
+    exprs += list(model.diffs.values())
+    for expr in exprs:
+        for node in walk_expr(expr):
+            if isinstance(node, Call) and \
+                    node.callee in model.foreign_functions:
+                arities[node.callee] = len(node.args)
+    for name, arity in sorted(arities.items()):
+        func_dialect.func(module, f"foreign_{name}", [f64] * arity, [f64],
+                          declaration=True)

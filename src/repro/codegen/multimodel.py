@@ -1,0 +1,159 @@
+"""Multimodel support: parent/offspring cell hierarchies (§3.3.2).
+
+openCARP lets several models interact on the same tissue: "Offspring
+cells are allowed to access and modify the content (or state) of their
+parent ... We support this feature by conditionally accessing data
+from the parent through MLIR gather and scatter operations that also
+handle such conditions.  If the parent information cannot be found, it
+falls through the common local variable storage."
+
+A *plugin kernel* is a limpetMLIR compute kernel whose external reads
+go through a per-cell parent map:
+
+* ``parent_map[i] >= 0`` — lane i reads ``Vm`` from (and accumulates its
+  current into) the parent cell ``parent_map[i]``;
+* ``parent_map[i] < 0``  — lane i falls through to its own external
+  arrays.
+
+The vector path uses masked ``vector.gather``/``vector.scatter``; the
+accumulation is read-modify-write so the plugin *adds* its current to
+whatever the parent model already computed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..frontend.model import IonicModel
+from ..ir.builder import IRBuilder
+from ..ir.core import Module, Value
+from ..ir.dialects import (arith, func as func_dialect, omp, scf,
+                           vector as vector_dialect)
+from ..ir.types import f64, i1, index, memref_of
+from .common import BackendMode, ExprEmitter, GeneratedKernel, KernelSpec
+from .integrators import emit_state_updates
+from .layout import aosoa
+from .limpet_mlir import _load_states, _store_states
+from .lut import declare_interp_functions, emit_vector_interp, LUT_MEMREF
+
+STATE_MEMREF = memref_of(f64)
+EXT_MEMREF = memref_of(f64)
+MAP_MEMREF = memref_of(index)
+
+
+def generate_plugin(model: IonicModel, width: int = 8,
+                    use_lut: bool = True,
+                    function_name: Optional[str] = None) -> GeneratedKernel:
+    """Generate a vectorized plugin kernel with parent indirection.
+
+    Signature adds, after the standard arguments, one ``parent_map``
+    memref plus one ``parent_<ext>`` memref per external variable.
+    """
+    if model.foreign_functions:
+        from .common import UnsupportedModelError
+        raise UnsupportedModelError(
+            f"model {model.name}: foreign function(s) "
+            f"{sorted(model.foreign_functions)} cannot be vectorized in a "
+            f"plugin kernel; use the baseline backend")
+    layout = aosoa(model.n_states, width)
+    spec = KernelSpec(model=model, mode=BackendMode.LIMPET_MLIR, width=width,
+                      layout=layout, use_lut=use_lut,
+                      function_name=function_name
+                      or f"compute_plugin_{model.name}")
+    module = Module(f"{model.name}_plugin")
+    if spec.use_lut and model.lut_tables:
+        declare_interp_functions(module, model, vectorized=True, width=width)
+
+    arg_types = [index, index, f64, f64, STATE_MEMREF]
+    arg_types += [EXT_MEMREF] * len(model.externals)
+    if spec.use_lut:
+        arg_types += [LUT_MEMREF] * len(model.lut_tables)
+    arg_names = spec.argument_names()
+    arg_types.append(MAP_MEMREF)
+    arg_names = list(arg_names) + ["parent_map"]
+    for ext in model.externals:
+        arg_types.append(EXT_MEMREF)
+        arg_names.append(f"parent_{ext}")
+
+    kernel = func_dialect.func(module, spec.function_name, arg_types, [],
+                               arg_hints=arg_names)
+    args = dict(zip(arg_names, kernel.args))
+    b = IRBuilder(kernel.entry)
+
+    step = b.constant(width, index)
+    n_states = b.constant(model.n_states, index)
+    dt_vec = vector_dialect.broadcast(b, args["dt"], width)
+
+    par = omp.parallel(b, schedule="static")
+    with b.at_end_of(par.body):
+        b.set_insertion_point_before(par.body.terminator)
+        loop = scf.for_op(b, args["start"], args["end"], step, iv_hint="i")
+        loop.op.attributes.update({"cell_loop": True,
+                                   "vector_width": width,
+                                   "layout": str(layout),
+                                   "parallel": True})
+        with b.at_end_of(loop.body):
+            i = loop.induction_var
+            env: Dict[str, Value] = {}
+            # parent indices for this vector of cells (contiguous load)
+            parent_idx = vector_dialect.load(b, args["parent_map"], [i],
+                                             width)
+            zero_idx = vector_dialect.broadcast(b, b.constant(0, index),
+                                                width)
+            has_parent = arith.cmpi(b, "sge", parent_idx, zero_idx)
+            # externals: masked gather from the parent, fall through to
+            # the local external array otherwise
+            for ext in model.externals:
+                local = vector_dialect.load(b, args[f"{ext}_ext"], [i],
+                                            width)
+                env[ext] = vector_dialect.gather(
+                    b, args[f"parent_{ext}"], parent_idx,
+                    mask=has_parent, pass_thru=local)
+            _load_states(b, spec, args["sv"], i, n_states, env)
+            lut_served = set()
+            if spec.use_lut:
+                for table in model.lut_tables:
+                    emit_vector_interp(b, table, args[f"lut_{table.var}"],
+                                       env[table.var], env, width)
+                    lut_served.update(table.column_names)
+            emitter = ExprEmitter(b, env, width=width)
+            for const_name, const_value in {**model.params,
+                                            **model.folded_constants}.items():
+                env[const_name] = emitter._const(const_value)
+            for comp in model.computations:
+                if comp.target in lut_served:
+                    continue
+                env[comp.target] = emitter.emit(comp.expr)
+            new_values = emit_state_updates(b, model, env, width=width,
+                                            dt=dt_vec)
+            _store_states(b, spec, args["sv"], i, n_states, new_values)
+            # outputs: ACCUMULATE into the parent (read-modify-write
+            # masked gather/scatter); unparented lanes write locally.
+            for ext in model.outputs:
+                zero_f = vector_dialect.broadcast(
+                    b, b.constant(0.0, f64), width)
+                parent_now = vector_dialect.gather(
+                    b, args[f"parent_{ext}"], parent_idx,
+                    mask=has_parent, pass_thru=zero_f)
+                summed = arith.addf(b, parent_now, env[ext])
+                vector_dialect.scatter(b, summed, args[f"parent_{ext}"],
+                                       parent_idx, mask=has_parent)
+                # fall-through lanes keep their own storage up to date
+                local_mask = b.create(
+                    "arith.xori", [has_parent,
+                                   _true_vector(b, width)],
+                    [has_parent.type]).result
+                own_now = vector_dialect.load(b, args[f"{ext}_ext"], [i],
+                                              width)
+                merged = arith.select(b, local_mask, env[ext], own_now)
+                vector_dialect.store(b, merged, args[f"{ext}_ext"], [i])
+            scf.yield_op(b)
+    func_dialect.ret(b)
+    kernel_spec_args = list(arg_names)
+    generated = GeneratedKernel(module=module, spec=spec, layout=layout)
+    generated.plugin_arg_names = kernel_spec_args  # type: ignore[attr-defined]
+    return generated
+
+
+def _true_vector(b: IRBuilder, width: int) -> Value:
+    return vector_dialect.broadcast(b, b.constant(True, i1), width)

@@ -1,0 +1,15 @@
+"""External-format translators into EasyML (paper Figure 1).
+
+"CellML, SBML, and MMT formats can be converted to EasyML through
+semi-automatic scripts available in openCARP and Myokit" — these are
+those scripts: each takes foreign source text and emits EasyML that the
+regular pipeline compiles.
+"""
+
+from .cellml import CellMLError, cellml_to_easyml, parse_cellml
+from .mmt import MMTError, mmt_to_easyml, parse_mmt
+from .sbml import SBMLError, parse_sbml, sbml_to_easyml
+
+__all__ = ["CellMLError", "cellml_to_easyml", "parse_cellml", "MMTError",
+           "mmt_to_easyml", "parse_mmt", "SBMLError", "parse_sbml",
+           "sbml_to_easyml"]

@@ -1,0 +1,266 @@
+"""CellML -> EasyML conversion (Figure 1's left-hand side).
+
+The paper's Figure 1 shows EasyML serving "as an intermediate
+representation for different formats: CellML, SBML, and MMT formats can
+be converted to EasyML through semi-automatic scripts available in
+openCARP and Myokit."  This module implements that translator for the
+CellML 1.x subset cardiac models actually use: components with
+variables (initial values, units), MathML ``<math>`` blocks containing
+``<apply>`` equations — algebraic assignments and time derivatives —
+with the usual operator/function vocabulary and piecewise expressions.
+
+Conversion maps:
+
+* ``d x / d time = rhs``          -> ``diff_x = rhs;`` + ``x_init``
+* algebraic ``x = rhs``           -> ``x = rhs;``
+* constants (initial_value only)  -> ``x = value; .param();``
+* the membrane potential variable -> ``Vm; .external()`` (by name or
+  by the ``membrane_potential`` annotation)
+* piecewise                        -> chained ternaries
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+CELLML_NS = "{http://www.cellml.org/cellml/1.0#}"
+CELLML11_NS = "{http://www.cellml.org/cellml/1.1#}"
+MATHML_NS = "{http://www.w3.org/1998/Math/MathML}"
+
+#: names commonly used for the transmembrane potential in CellML models
+VOLTAGE_NAMES = {"V", "Vm", "v", "membrane_potential"}
+TIME_NAMES = {"time", "t", "environment_time"}
+
+_MATHML_BINARY = {"plus": "+", "minus": "-", "times": "*", "divide": "/"}
+_MATHML_RELATIONS = {"lt": "<", "leq": "<=", "gt": ">", "geq": ">=",
+                     "eq": "==", "neq": "!="}
+_MATHML_FUNCTIONS = {"exp": "exp", "ln": "log", "log": "log10",
+                     "sin": "sin", "cos": "cos", "tan": "tan",
+                     "arcsin": "asin", "arccos": "acos",
+                     "arctan": "atan", "sinh": "sinh", "cosh": "cosh",
+                     "tanh": "tanh", "abs": "fabs", "floor": "floor",
+                     "ceiling": "ceil", "root": "sqrt"}
+
+
+class CellMLError(Exception):
+    """Raised on CellML content outside the supported subset."""
+
+
+@dataclass
+class CellMLVariable:
+    name: str
+    component: str
+    initial_value: Optional[float] = None
+    units: Optional[str] = None
+
+
+@dataclass
+class CellMLModel:
+    """A parsed CellML document, flattened across components."""
+
+    name: str
+    variables: Dict[str, CellMLVariable] = field(default_factory=dict)
+    #: algebraic equations target -> EasyML expression text
+    equations: List[Tuple[str, str]] = field(default_factory=list)
+    #: ODEs: state -> EasyML expression text
+    odes: List[Tuple[str, str]] = field(default_factory=list)
+
+
+def _local(tag: str) -> str:
+    return tag.split("}", 1)[1] if "}" in tag else tag
+
+
+def parse_cellml(source: str) -> CellMLModel:
+    """Parse CellML XML text into a :class:`CellMLModel`."""
+    try:
+        root = ET.fromstring(source)
+    except ET.ParseError as err:
+        raise CellMLError(f"malformed XML: {err}") from err
+    if _local(root.tag) != "model":
+        raise CellMLError(f"expected <model>, got <{_local(root.tag)}>")
+    model = CellMLModel(name=root.get("name", "cellml_model"))
+    for component in root:
+        if _local(component.tag) != "component":
+            continue
+        comp_name = component.get("name", "component")
+        for child in component:
+            tag = _local(child.tag)
+            if tag == "variable":
+                name = child.get("name")
+                if not name:
+                    raise CellMLError(
+                        f"variable without a name in {comp_name}")
+                initial = child.get("initial_value")
+                model.variables[name] = CellMLVariable(
+                    name=name, component=comp_name,
+                    initial_value=float(initial) if initial else None,
+                    units=child.get("units"))
+            elif tag == "math":
+                _parse_math(child, model)
+    return model
+
+
+def _parse_math(math: ET.Element, model: CellMLModel) -> None:
+    for apply_el in math:
+        if _local(apply_el.tag) != "apply":
+            raise CellMLError(
+                f"expected <apply> under <math>, got "
+                f"<{_local(apply_el.tag)}>")
+        children = list(apply_el)
+        if not children or _local(children[0].tag) != "eq":
+            raise CellMLError("top-level <apply> must be an equality")
+        lhs, rhs = children[1], children[2]
+        rhs_text = _expr(rhs)
+        if _local(lhs.tag) == "apply" and \
+                _local(list(lhs)[0].tag) == "diff":
+            parts = list(lhs)
+            bvar = parts[1]
+            state = parts[2]
+            bvar_name = _expr(list(bvar)[0])
+            if bvar_name not in TIME_NAMES:
+                raise CellMLError(
+                    f"only time derivatives are supported, got "
+                    f"d/d{bvar_name}")
+            model.odes.append((_expr(state), rhs_text))
+        elif _local(lhs.tag) == "ci":
+            model.equations.append((lhs.text.strip(), rhs_text))
+        else:
+            raise CellMLError(
+                f"unsupported equation left-hand side <{_local(lhs.tag)}>")
+
+
+def _expr(node: ET.Element) -> str:
+    """MathML content element -> EasyML expression text."""
+    tag = _local(node.tag)
+    if tag == "ci":
+        return node.text.strip()
+    if tag == "cn":
+        value = node.text.strip()
+        # cellml:units e-notation: <cn ...>1.2<sep/>-3</cn>
+        sep = [c for c in node if _local(c.tag) == "sep"]
+        if sep:
+            exponent = sep[0].tail.strip()
+            return f"{value}e{exponent}"
+        return value
+    if tag == "apply":
+        return _apply(node)
+    if tag == "piecewise":
+        return _piecewise(node)
+    if tag == "pi":
+        return "3.141592653589793"
+    if tag == "exponentiale":
+        return "2.718281828459045"
+    if tag == "true":
+        return "1"
+    if tag == "false":
+        return "0"
+    raise CellMLError(f"unsupported MathML element <{tag}>")
+
+
+def _apply(node: ET.Element) -> str:
+    children = list(node)
+    op = _local(children[0].tag)
+    args = children[1:]
+    if op in _MATHML_BINARY:
+        if op == "minus" and len(args) == 1:
+            return f"(-{_expr(args[0])})"
+        parts = [_expr(a) for a in args]
+        return "(" + f" {_MATHML_BINARY[op]} ".join(parts) + ")"
+    if op in _MATHML_RELATIONS:
+        return (f"({_expr(args[0])} {_MATHML_RELATIONS[op]} "
+                f"{_expr(args[1])})")
+    if op == "power":
+        return f"pow({_expr(args[0])}, {_expr(args[1])})"
+    if op == "root":
+        return f"sqrt({_expr(args[0])})"
+    if op in ("and", "or"):
+        joiner = " && " if op == "and" else " || "
+        return "(" + joiner.join(_expr(a) for a in args) + ")"
+    if op == "not":
+        return f"(!{_expr(args[0])})"
+    if op in _MATHML_FUNCTIONS:
+        inner = ", ".join(_expr(a) for a in args)
+        return f"{_MATHML_FUNCTIONS[op]}({inner})"
+    raise CellMLError(f"unsupported MathML operator <{op}>")
+
+
+def _piecewise(node: ET.Element) -> str:
+    pieces = []
+    otherwise = "0.0"
+    for child in node:
+        tag = _local(child.tag)
+        parts = list(child)
+        if tag == "piece":
+            value, cond = _expr(parts[0]), _expr(parts[1])
+            pieces.append((cond, value))
+        elif tag == "otherwise":
+            otherwise = _expr(parts[0])
+    text = otherwise
+    for cond, value in reversed(pieces):
+        text = f"({cond} ? {value} : {text})"
+    return text
+
+
+def cellml_to_easyml(source: str, lookup_vm: bool = True,
+                     current_name: str = "Iion") -> str:
+    """Convert CellML XML text to EasyML source.
+
+    The membrane potential becomes the external ``Vm`` (with an optional
+    ``.lookup``), a variable named ``Iion``/``i_ion``/``i_tot`` becomes
+    the external current output, constants become parameters, states
+    keep their ODEs and initial values.
+    """
+    model = parse_cellml(source)
+    assigned = {t for t, _ in model.equations}
+    states = {s for s, _ in model.odes}
+    renames: Dict[str, str] = {}
+    voltage = next((v for v in model.variables if v in VOLTAGE_NAMES), None)
+    if voltage:
+        renames[voltage] = "Vm"
+    current = next((v for v in assigned
+                    if v.lower() in ("iion", "i_ion", "i_tot", "i_total")),
+                   None)
+    if current:
+        renames[current] = current_name
+
+    def fix(text: str) -> str:
+        import re
+        for old, new in renames.items():
+            text = re.sub(rf"\b{re.escape(old)}\b", new, text)
+        return text
+
+    lines = [f"// Converted from CellML model {model.name!r} by"
+             f" repro.convert.cellml (see Figure 1 of the paper)."]
+    lookup = " .lookup(-100,100,0.05);" if lookup_vm else ""
+    lines.append(f"Vm; .external(); .nodal();{lookup}")
+    lines.append(f"{current_name}; .external(); .nodal();")
+    lines.append("")
+    for name, var in model.variables.items():
+        if name in states or name in assigned or name in TIME_NAMES \
+                or name in renames:
+            continue
+        if var.initial_value is not None:
+            lines.append(f"{name} = {var.initial_value!r}; .param();")
+    lines.append("")
+    for name, var in model.variables.items():
+        if name in states and name not in renames \
+                and var.initial_value is not None:
+            lines.append(f"{name}_init = {var.initial_value!r};")
+    if voltage and model.variables[voltage].initial_value is not None:
+        lines.append(
+            f"Vm_init = {model.variables[voltage].initial_value!r};")
+    lines.append("")
+    for target, rhs in model.equations:
+        target = renames.get(target, target)
+        lines.append(f"{target} = {fix(rhs)};")
+    lines.append("")
+    for state, rhs in model.odes:
+        if state == voltage:
+            # dV/dt belongs to the solver stage: emit the current instead
+            if not current:
+                lines.append(f"{current_name} = -({fix(rhs)});")
+            continue
+        lines.append(f"diff_{state} = {fix(rhs)};")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,251 @@
+"""Myokit MMT -> EasyML conversion (Figure 1's left-hand side).
+
+Myokit's ``.mmt`` files describe ionic models in a component-based
+plain-text format the paper lists among EasyML's feeder formats.  The
+supported subset covers what cardiac model exports use:
+
+.. code-block:: text
+
+    [[model]]
+    # comments
+    membrane.V = -84.0          # initial conditions block
+
+    [membrane]
+    dot(V) = -(i_ion + i_stim)
+    i_ion = ina.INa + ik.IK
+
+    [ina]
+    use membrane.V as V
+    GNa = 16.0
+    dot(m) = alpha * (1 - m) - beta * m
+        alpha = 0.32 * ...      # nested (indented) definitions
+        beta = ...
+    INa = GNa * m^3 * h * (V - 50)
+
+Names are flattened ``component_variable``; ``dot(x)`` becomes
+``diff_x``; ``x^y`` becomes ``pow``; ``if(c, a, b)`` becomes a ternary;
+the membrane potential maps to the external ``Vm`` and the total ionic
+current to ``Iion``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class MMTError(Exception):
+    """Raised on MMT content outside the supported subset."""
+
+
+_SECTION = re.compile(r"^\[\[?(\w+)\]\]?$")
+_ASSIGN = re.compile(r"^(dot\(\s*(\w+)\s*\)|\w+)\s*=\s*(.+)$")
+_USE = re.compile(r"^use\s+([\w.]+)(?:\s+as\s+(\w+))?$")
+_INITIAL = re.compile(r"^([\w.]+)\s*=\s*([-+0-9.eE]+)$")
+
+
+@dataclass
+class MMTModel:
+    name: str = "mmt_model"
+    #: flattened variable name -> initial value (from [[model]] block)
+    initials: Dict[str, float] = field(default_factory=dict)
+    #: (flattened target, is_state, rhs) in source order
+    assignments: List[Tuple[str, bool, str]] = field(default_factory=list)
+    #: per-component alias maps from ``use`` statements
+    voltage: Optional[str] = None
+    current: Optional[str] = None
+
+
+def _flat(component: str, name: str) -> str:
+    return f"{component}_{name}" if component else name
+
+
+def parse_mmt(source: str) -> MMTModel:
+    """Parse MMT text into an :class:`MMTModel`."""
+    model = MMTModel()
+    component: Optional[str] = None
+    in_header = False
+    aliases: Dict[str, str] = {}
+    known_components: List[str] = []
+
+    def resolve(text: str, local_aliases: Dict[str, str],
+                comp: str) -> str:
+        text = re.sub(r"\^", "**", text)
+
+        def repl_dotted(match):
+            return f"{match.group(1)}_{match.group(2)}"
+
+        # identifiers only: '0.14' must stay a number
+        text = re.sub(r"\b([A-Za-z_]\w*)\.([A-Za-z_]\w*)\b", repl_dotted,
+                      text)
+
+        def repl_name(match):
+            word = match.group(0)
+            if word in local_aliases:
+                return local_aliases[word]
+            return word
+        text = re.sub(r"\b[A-Za-z_]\w*\b", repl_name, text)
+        return text
+
+    pending: List[Tuple[str, bool, str, str, Dict[str, str]]] = []
+    for raw_line in source.splitlines():
+        line = raw_line.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        section = _SECTION.match(line.strip())
+        if section:
+            name = section.group(1)
+            if line.strip().startswith("[["):
+                in_header = name == "model"
+                component = None
+            else:
+                in_header = False
+                component = name
+                known_components.append(name)
+                aliases = {}
+            continue
+        stripped = line.strip()
+        if in_header:
+            match = _INITIAL.match(stripped)
+            if match:
+                flat = match.group(1).replace(".", "_")
+                model.initials[flat] = float(match.group(2))
+            continue
+        if component is None:
+            raise MMTError(f"statement outside any component: {stripped}")
+        use = _USE.match(stripped)
+        if use:
+            dotted = use.group(1).replace(".", "_")
+            alias = use.group(2) or use.group(1).split(".")[-1]
+            aliases[alias] = dotted
+            continue
+        assign = _ASSIGN.match(stripped)
+        if not assign:
+            raise MMTError(f"cannot parse line: {stripped!r}")
+        is_state = assign.group(2) is not None
+        local = assign.group(2) if is_state else assign.group(1)
+        pending.append((component, is_state, local, assign.group(3),
+                        dict(aliases)))
+
+    for comp, is_state, local, rhs, local_aliases in pending:
+        flat = _flat(comp, local)
+        rhs_flat = resolve(rhs, local_aliases, comp)
+        # names without a component prefix refer to the same component
+        def qualify(match):
+            word = match.group(0)
+            if word in ("exp", "log", "log10", "sqrt", "pow", "fabs",
+                        "abs", "sin", "cos", "tan", "tanh", "floor",
+                        "ceil", "if", "and", "or", "not", "atan",
+                        "asin", "acos", "min", "max", "sinh", "cosh",
+                        "square", "cube", "erf"):
+                return word
+            if re.fullmatch(r"\d+e?\d*", word):
+                return word
+            if any(word.startswith(f"{c}_") or word == c
+                   for c in known_components):
+                return word
+            return _flat(comp, word)
+        rhs_flat = re.sub(r"\b[A-Za-z_]\w*\b", qualify, rhs_flat)
+        rhs_flat = _convert_operators(rhs_flat)
+        model.assignments.append((flat, is_state, rhs_flat))
+        lowered = local.lower()
+        if lowered in ("v", "vm") and comp in ("membrane", "cell"):
+            model.voltage = flat
+        if lowered in ("i_ion", "iion", "i_tot"):
+            model.current = flat
+    if model.voltage is None:
+        for flat, is_state, _ in model.assignments:
+            if is_state and flat.endswith("_V"):
+                model.voltage = flat
+                break
+    return model
+
+
+def _convert_operators(text: str) -> str:
+    """``a ** b`` -> pow(a, b); ``if(c, a, b)`` -> ternary."""
+    while "**" in text:
+        match = re.search(r"([\w.]+(?:\([^()]*\))?)\s*\*\*\s*([\w.]+)",
+                          text)
+        if not match:
+            raise MMTError(f"cannot rewrite power in {text!r}")
+        text = (text[:match.start()] +
+                f"pow({match.group(1)}, {match.group(2)})" +
+                text[match.end():])
+    # if(c, a, b) -> (c ? a : b)
+    while True:
+        idx = text.find("if(")
+        if idx == -1:
+            break
+        depth, args, start, cuts = 0, [], idx + 3, []
+        for pos in range(idx + 3, len(text)):
+            ch = text[pos]
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                if depth == 0:
+                    cuts.append(pos)
+                    break
+                depth -= 1
+            elif ch == "," and depth == 0:
+                cuts.append(pos)
+        if len(cuts) != 3:
+            raise MMTError(f"malformed if(...) in {text!r}")
+        c1, c2, c3 = cuts
+        cond = text[start:c1].strip()
+        then = text[c1 + 1:c2].strip()
+        other = text[c2 + 1:c3].strip()
+        text = (text[:idx] + f"(({cond}) ? ({then}) : ({other}))"
+                + text[c3 + 1:])
+    return text
+
+
+def mmt_to_easyml(source: str, lookup_vm: bool = True) -> str:
+    """Convert Myokit MMT text to EasyML source."""
+    model = parse_mmt(source)
+    renames: Dict[str, str] = {}
+    if model.voltage:
+        renames[model.voltage] = "Vm"
+    if model.current:
+        renames[model.current] = "Iion"
+
+    def fix(text: str) -> str:
+        for old, new in renames.items():
+            text = re.sub(rf"\b{re.escape(old)}\b", new, text)
+        return text
+
+    lines = ["// Converted from Myokit MMT by repro.convert.mmt "
+             "(see Figure 1 of the paper)."]
+    lookup = " .lookup(-100,100,0.05);" if lookup_vm else ""
+    lines.append(f"Vm; .external(); .nodal();{lookup}")
+    lines.append("Iion; .external(); .nodal();")
+    lines.append("")
+    states = {t for t, is_state, _ in model.assignments if is_state}
+    for flat, value in model.initials.items():
+        name = renames.get(flat, flat)
+        if name == "Vm":
+            lines.append(f"Vm_init = {value!r};")
+        elif flat in states:
+            lines.append(f"{name}_init = {value!r};")
+    lines.append("")
+    emitted_iion = False
+    for flat, is_state, rhs in model.assignments:
+        target = renames.get(flat, flat)
+        if is_state:
+            if target == "Vm":
+                if model.current is None:
+                    lines.append(f"Iion = -({fix(rhs)});")
+                    emitted_iion = True
+                continue
+            lines.append(f"diff_{target} = {fix(rhs)};")
+        else:
+            # constants become params, expressions stay intermediates
+            if re.fullmatch(r"[-+0-9.eE]+", rhs.strip()):
+                lines.append(f"{target} = {rhs.strip()}; .param();")
+            else:
+                lines.append(f"{target} = {fix(rhs)};")
+            if target == "Iion":
+                emitted_iion = True
+    if not emitted_iion:
+        raise MMTError("model defines neither i_ion nor dot(V)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,144 @@
+"""SBML -> EasyML conversion (Figure 1's left-hand side).
+
+SBML (the Systems Biology Markup Language, Hucka et al. 2003) describes
+models as species, parameters, rules and reactions.  The subset that
+maps onto ionic-model simulation — and that this converter supports —
+is:
+
+* ``<listOfParameters>``                -> ``.param()`` declarations
+* ``<listOfSpecies>`` initial amounts   -> state initial values
+* ``<assignmentRule>``                  -> algebraic intermediates
+* ``<rateRule>``                        -> ``diff_`` equations
+* MathML expressions                    -> shared with the CellML
+  converter (the same content-MathML vocabulary)
+
+A species/parameter named ``V``/``Vm`` becomes the external membrane
+potential; an assignment named ``Iion``-like becomes the external
+current.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .cellml import VOLTAGE_NAMES, CellMLError, _expr, _local
+
+
+class SBMLError(Exception):
+    """Raised on SBML content outside the supported subset."""
+
+
+@dataclass
+class SBMLModel:
+    name: str = "sbml_model"
+    parameters: Dict[str, float] = field(default_factory=dict)
+    species: Dict[str, float] = field(default_factory=dict)
+    assignments: List[Tuple[str, str]] = field(default_factory=list)
+    rates: List[Tuple[str, str]] = field(default_factory=list)
+
+
+def parse_sbml(source: str) -> SBMLModel:
+    """Parse SBML XML text into an :class:`SBMLModel`."""
+    try:
+        root = ET.fromstring(source)
+    except ET.ParseError as err:
+        raise SBMLError(f"malformed XML: {err}") from err
+    if _local(root.tag) != "sbml":
+        raise SBMLError(f"expected <sbml>, got <{_local(root.tag)}>")
+    model_el = next((c for c in root if _local(c.tag) == "model"), None)
+    if model_el is None:
+        raise SBMLError("no <model> inside <sbml>")
+    model = SBMLModel(name=model_el.get("id",
+                                        model_el.get("name", "sbml")))
+    for section in model_el:
+        tag = _local(section.tag)
+        if tag == "listOfParameters":
+            for param in section:
+                pid = param.get("id")
+                value = param.get("value")
+                if pid and value is not None:
+                    model.parameters[pid] = float(value)
+        elif tag == "listOfSpecies":
+            for species in section:
+                sid = species.get("id")
+                amount = species.get("initialAmount",
+                                     species.get("initialConcentration"))
+                if sid:
+                    model.species[sid] = float(amount or 0.0)
+        elif tag == "listOfRules":
+            for rule in section:
+                rule_tag = _local(rule.tag)
+                variable = rule.get("variable")
+                math = next((c for c in rule if _local(c.tag) == "math"),
+                            None)
+                if math is None or variable is None:
+                    raise SBMLError(f"rule without math/variable: "
+                                    f"{rule_tag}")
+                children = list(math)
+                if len(children) != 1:
+                    raise SBMLError("rule <math> must hold one expression")
+                try:
+                    text = _expr(children[0])
+                except CellMLError as err:
+                    raise SBMLError(str(err)) from err
+                if rule_tag == "assignmentRule":
+                    model.assignments.append((variable, text))
+                elif rule_tag == "rateRule":
+                    model.rates.append((variable, text))
+                else:
+                    raise SBMLError(f"unsupported rule <{rule_tag}>")
+    return model
+
+
+def sbml_to_easyml(source: str, lookup_vm: bool = True) -> str:
+    """Convert SBML XML text to EasyML source."""
+    model = parse_sbml(source)
+    states = {name for name, _ in model.rates}
+    voltage = next((name for name in (*model.species, *model.parameters)
+                    if name in VOLTAGE_NAMES), None)
+    current = next((name for name, _ in model.assignments
+                    if name.lower() in ("iion", "i_ion", "i_tot")), None)
+    renames: Dict[str, str] = {}
+    if voltage:
+        renames[voltage] = "Vm"
+    if current:
+        renames[current] = "Iion"
+
+    def fix(text: str) -> str:
+        for old, new in renames.items():
+            text = re.sub(rf"\b{re.escape(old)}\b", new, text)
+        return text
+
+    lines = [f"// Converted from SBML model {model.name!r} by "
+             f"repro.convert.sbml (see Figure 1 of the paper)."]
+    lookup = " .lookup(-100,100,0.05);" if lookup_vm else ""
+    lines.append(f"Vm; .external(); .nodal();{lookup}")
+    lines.append("Iion; .external(); .nodal();")
+    lines.append("")
+    for name, value in model.parameters.items():
+        if name in renames or name in states:
+            continue
+        lines.append(f"{name} = {value!r}; .param();")
+    lines.append("")
+    for name, value in model.species.items():
+        target = renames.get(name, name)
+        if target == "Vm":
+            lines.append(f"Vm_init = {value!r};")
+        elif name in states:
+            lines.append(f"{name}_init = {value!r};")
+    if voltage and voltage in model.parameters:
+        lines.append(f"Vm_init = {model.parameters[voltage]!r};")
+    lines.append("")
+    for target, text in model.assignments:
+        lines.append(f"{renames.get(target, target)} = {fix(text)};")
+    lines.append("")
+    for state, text in model.rates:
+        if renames.get(state) == "Vm":
+            if current is None:
+                lines.append(f"Iion = -({fix(text)});")
+            continue
+        lines.append(f"diff_{state} = {fix(text)};")
+    return "\n".join(lines) + "\n"

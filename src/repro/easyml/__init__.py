@@ -1,0 +1,16 @@
+"""EasyML: the ionic-model DSL frontend (lexer, parser, AST)."""
+
+from .ast_nodes import (Assign, Binary, Call, Declare, Expr, Group, If,
+                        Markup, ModelAST, Name, Number, Stmt, Ternary, Unary,
+                        free_names, walk_expr)
+from .errors import EasyMLError, LexerError, SemanticError, SyntaxErrorEasyML
+from .lexer import Lexer, Token, TokenKind, tokenize
+from .parser import Parser, parse_model, parse_model_file
+
+__all__ = [
+    "Assign", "Binary", "Call", "Declare", "Expr", "Group", "If", "Markup",
+    "ModelAST", "Name", "Number", "Stmt", "Ternary", "Unary", "free_names",
+    "walk_expr", "EasyMLError", "LexerError", "SemanticError",
+    "SyntaxErrorEasyML", "Lexer", "Token", "TokenKind", "tokenize", "Parser",
+    "parse_model", "parse_model_file",
+]

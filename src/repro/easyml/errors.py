@@ -1,0 +1,27 @@
+"""Diagnostics for EasyML source handling."""
+
+from __future__ import annotations
+
+
+class EasyMLError(Exception):
+    """Base class for EasyML frontend errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0,
+                 filename: str = "<model>"):
+        self.line = line
+        self.column = column
+        self.filename = filename
+        location = f"{filename}:{line}:{column}: " if line else ""
+        super().__init__(f"{location}{message}")
+
+
+class LexerError(EasyMLError):
+    """Raised on characters or literals the lexer cannot tokenize."""
+
+
+class SyntaxErrorEasyML(EasyMLError):
+    """Raised when the token stream does not form a valid model."""
+
+
+class SemanticError(EasyMLError):
+    """Raised by the limpet frontend on inconsistent model descriptions."""

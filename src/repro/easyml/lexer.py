@@ -1,0 +1,209 @@
+"""Tokenizer for the EasyML ionic-model markup language.
+
+EasyML borrows C's expression syntax (the paper, §2.2: "Variable
+assignments, if statements and the precedence of arithmetic operations
+follow those of C/C++"), adds ``.markup(args)`` clauses attached to
+declarations, ``group { ... }`` blocks, and the ``diff_``/``_init``
+naming conventions handled later by the frontend.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator, List
+
+from .errors import LexerError
+
+
+class TokenKind(Enum):
+    IDENT = auto()
+    NUMBER = auto()
+    STRING = auto()
+    # punctuation / operators
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    SLASH = auto()
+    PERCENT = auto()
+    CARET = auto()          # exponent in some model sources
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    COMMA = auto()
+    SEMI = auto()
+    DOT = auto()
+    ASSIGN = auto()
+    QUESTION = auto()
+    COLON = auto()
+    # comparisons / logic
+    EQ = auto()
+    NE = auto()
+    LT = auto()
+    LE = auto()
+    GT = auto()
+    GE = auto()
+    AND = auto()
+    OR = auto()
+    NOT = auto()
+    # keywords
+    IF = auto()
+    ELSE = auto()
+    GROUP = auto()
+    EOF = auto()
+
+
+KEYWORDS = {
+    "if": TokenKind.IF,
+    "else": TokenKind.ELSE,
+    "group": TokenKind.GROUP,
+    "and": TokenKind.AND,
+    "or": TokenKind.OR,
+    "not": TokenKind.NOT,
+}
+
+_TWO_CHAR = {
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "&&": TokenKind.AND,
+    "||": TokenKind.OR,
+}
+
+_ONE_CHAR = {
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "^": TokenKind.CARET,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    ".": TokenKind.DOT,
+    "=": TokenKind.ASSIGN,
+    "?": TokenKind.QUESTION,
+    ":": TokenKind.COLON,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "!": TokenKind.NOT,
+}
+
+# Numbers: 1, 1.5, .5, 1., 1e-3, 2.5E+4, 1.e2
+_NUMBER_RE = re.compile(r"(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?")
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    @property
+    def number_value(self) -> float:
+        if self.kind is not TokenKind.NUMBER:
+            raise ValueError(f"token {self.text!r} is not a number")
+        return float(self.text)
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Single-pass tokenizer with C, C++ and shell comment support."""
+
+    def __init__(self, source: str, filename: str = "<model>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> LexerError:
+        return LexerError(message, self.line, self.column, self.filename)
+
+    def _advance(self, count: int) -> None:
+        for ch in self.source[self.pos:self.pos + count]:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            ch = self.source[self.pos]
+            if ch in " \t\r\n":
+                self._advance(1)
+            elif self.source.startswith("//", self.pos) or ch == "#":
+                end = self.source.find("\n", self.pos)
+                self._advance((end if end != -1 else len(self.source)) - self.pos)
+            elif self.source.startswith("/*", self.pos):
+                end = self.source.find("*/", self.pos + 2)
+                if end == -1:
+                    raise self._error("unterminated block comment")
+                self._advance(end + 2 - self.pos)
+            else:
+                return
+
+    def tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                yield Token(TokenKind.EOF, "", self.line, self.column)
+                return
+            start_line, start_col = self.line, self.column
+            text = self.source[self.pos:]
+            two = text[:2]
+            if two in _TWO_CHAR:
+                self._advance(2)
+                yield Token(_TWO_CHAR[two], two, start_line, start_col)
+                continue
+            ch = text[0]
+            if ch.isdigit() or (ch == "." and len(text) > 1
+                                and text[1].isdigit()):
+                match = _NUMBER_RE.match(text)
+                assert match is not None
+                self._advance(match.end())
+                yield Token(TokenKind.NUMBER, match.group(),
+                            start_line, start_col)
+                continue
+            if ch.isalpha() or ch == "_":
+                match = _IDENT_RE.match(text)
+                assert match is not None
+                word = match.group()
+                self._advance(match.end())
+                kind = KEYWORDS.get(word, TokenKind.IDENT)
+                yield Token(kind, word, start_line, start_col)
+                continue
+            if ch == '"':
+                end = text.find('"', 1)
+                if end == -1:
+                    raise self._error("unterminated string literal")
+                self._advance(end + 1)
+                yield Token(TokenKind.STRING, text[1:end],
+                            start_line, start_col)
+                continue
+            if ch in _ONE_CHAR:
+                self._advance(1)
+                yield Token(_ONE_CHAR[ch], ch, start_line, start_col)
+                continue
+            raise self._error(f"unexpected character {ch!r}")
+
+
+def tokenize(source: str, filename: str = "<model>") -> List[Token]:
+    """Tokenize EasyML source (including the trailing EOF token)."""
+    return list(Lexer(source, filename).tokens())

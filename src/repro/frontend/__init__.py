@@ -1,0 +1,23 @@
+"""The limpet frontend: semantic analysis of parsed EasyML models."""
+
+from .analysis import analyze
+from .model import Computation, GateInfo, IonicModel, LUTTable
+from .preprocessor import Preprocessor
+from .symbols import LookupSpec, Method, Variable, VarKind
+
+__all__ = ["analyze", "Computation", "GateInfo", "IonicModel", "LUTTable",
+           "Preprocessor", "LookupSpec", "Method", "Variable", "VarKind"]
+
+
+def load_model(source: str, name: str = "model"):
+    """Parse + analyze EasyML source in one call."""
+    from ..easyml import parse_model
+
+    return analyze(parse_model(source, name))
+
+
+def load_model_file(path):
+    """Parse + analyze an EasyML ``.model`` file."""
+    from ..easyml import parse_model_file
+
+    return analyze(parse_model_file(path))

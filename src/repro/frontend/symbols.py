@@ -1,0 +1,126 @@
+"""Symbol classification for ionic models.
+
+Mirrors what openCARP's limpet frontend derives from markup:
+
+* **external** variables (``.external()``) cross the cell membrane
+  boundary — ``Vm`` (potential, read) and ``Iion`` (current, written)
+  in the common case; read into locals at loop entry and written back
+  at loop exit (Listing 2, lines 5 and 31).
+* **parameters** (``.param()``) are shared read-only constants.
+* **state** variables are those with a ``diff_X`` equation; they live
+  in the per-cell private state struct and are advanced by an
+  integration method.
+* **gates** are state variables whose dynamics follow the classic
+  Hodgkin–Huxley form; Rush–Larsen style integrators apply to them.
+* everything else assigned in the model is an **intermediate**,
+  recomputed every step.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+class VarKind(enum.Enum):
+    EXTERNAL = "external"
+    PARAM = "param"
+    STATE = "state"
+    INTERMEDIATE = "intermediate"
+
+
+class Method(enum.Enum):
+    """Integration methods implemented by limpetMLIR (§3.3.2)."""
+
+    FE = "fe"
+    RK2 = "rk2"
+    RK4 = "rk4"
+    RUSH_LARSEN = "rush_larsen"
+    SUNDNES = "sundnes"
+    MARKOV_BE = "markov_be"
+
+    @classmethod
+    def from_markup(cls, name: str) -> "Method":
+        try:
+            return cls(name.lower())
+        except ValueError as err:
+            valid = ", ".join(m.value for m in cls)
+            raise ValueError(
+                f"unknown integration method {name!r} (expected one of "
+                f"{valid})") from err
+
+
+@dataclass(frozen=True)
+class LookupSpec:
+    """A ``.lookup(lo, hi, step)`` markup: tabulation domain for a var."""
+
+    lo: float
+    hi: float
+    step: float
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise ValueError(f"lookup step must be positive, got {self.step}")
+        if self.hi <= self.lo:
+            raise ValueError(
+                f"lookup range is empty: [{self.lo}, {self.hi}]")
+
+    @property
+    def n_rows(self) -> int:
+        return int(round((self.hi - self.lo) / self.step)) + 1
+
+
+@dataclass
+class Variable:
+    """One model variable with its resolved classification and markup."""
+
+    name: str
+    kind: VarKind
+    init: Optional[float] = None
+    nodal: bool = False
+    units: Optional[str] = None
+    lookup: Optional[LookupSpec] = None
+    method: Optional[Method] = None
+    is_gate: bool = False
+    written: bool = False          # external vars: assigned by the model
+
+    def __repr__(self) -> str:
+        extra = []
+        if self.init is not None:
+            extra.append(f"init={self.init}")
+        if self.lookup:
+            extra.append("lookup")
+        if self.method:
+            extra.append(self.method.value)
+        if self.is_gate:
+            extra.append("gate")
+        inner = ", ".join(extra)
+        return f"<{self.kind.value} {self.name}{' ' + inner if inner else ''}>"
+
+
+DIFF_PREFIX = "diff_"
+INIT_SUFFIX = "_init"
+
+
+def diff_target(name: str) -> Optional[str]:
+    """``diff_u1`` -> ``u1``; None when ``name`` is not a diff variable."""
+    if name.startswith(DIFF_PREFIX) and len(name) > len(DIFF_PREFIX):
+        return name[len(DIFF_PREFIX):]
+    return None
+
+
+def init_target(name: str) -> Optional[str]:
+    """``u1_init`` -> ``u1``; None when ``name`` is not an init variable."""
+    if name.endswith(INIT_SUFFIX) and len(name) > len(INIT_SUFFIX):
+        return name[:-len(INIT_SUFFIX)]
+    return None
+
+
+def gate_helper_names(state: str) -> Tuple[Tuple[str, str], Tuple[str, str]]:
+    """Names that mark ``state`` as a Hodgkin–Huxley gate.
+
+    Returns ((inf, tau), (alpha, beta)) candidate helper-variable names.
+    """
+    return ((f"{state}_inf", f"tau_{state}"),
+            (f"alpha_{state}", f"beta_{state}"))

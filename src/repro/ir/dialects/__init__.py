@@ -1,0 +1,10 @@
+"""MLIR-style dialects used by limpetMLIR code generation.
+
+Importing this package registers every op's :class:`~repro.ir.core.OpInfo`
+(traits, verifier, folder, evaluator) with the global registry.
+"""
+
+from . import arith, cf, func, gpu, math, memref, omp, scf, vector
+
+__all__ = ["arith", "cf", "func", "gpu", "math", "memref", "omp", "scf",
+           "vector"]

@@ -1,0 +1,254 @@
+"""The ``arith`` dialect: scalar/vector arithmetic, comparisons, casts.
+
+Every op registers a ``py_eval`` implemented with NumPy so a single
+definition serves both scalar interpretation and vector (lane-per-cell)
+execution.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..core import IRError, OpInfo, Operation, Value, register_op
+from ..builder import IRBuilder
+from ..types import (IRType, broadcast_type, f64, i1, i64, vector_width)
+
+CMPF_PREDICATES = ("oeq", "one", "olt", "ole", "ogt", "oge", "ueq", "une")
+CMPI_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge")
+
+_CMP_FN = {
+    "oeq": operator.eq, "ueq": operator.eq, "eq": operator.eq,
+    "one": operator.ne, "une": operator.ne, "ne": operator.ne,
+    "olt": operator.lt, "slt": operator.lt,
+    "ole": operator.le, "sle": operator.le,
+    "ogt": operator.gt, "sgt": operator.gt,
+    "oge": operator.ge, "sge": operator.ge,
+}
+
+
+def _same_type(op: Operation) -> None:
+    tys = {str(v.type) for v in op.operands}
+    if len(tys) > 1:
+        raise IRError(f"{op.name}: mismatched operand types {sorted(tys)}")
+
+
+def _require_float(op: Operation) -> None:
+    _same_type(op)
+    for v in op.operands:
+        if not v.type.is_float:
+            raise IRError(f"{op.name}: expected float operand, got {v.type}")
+
+
+def _require_int(op: Operation) -> None:
+    _same_type(op)
+    for v in op.operands:
+        if not v.type.is_integer:
+            raise IRError(f"{op.name}: expected integer operand, got {v.type}")
+
+
+def _binary_fold(fn):
+    def fold(op: Operation, operands: Sequence[Any]) -> Optional[Sequence[Any]]:
+        lhs, rhs = operands
+        if lhs is None or rhs is None:
+            return None
+        return [fn(lhs, rhs)]
+    return fold
+
+
+def _register_binary(name: str, fn, verify, commutative: bool = False) -> None:
+    register_op(OpInfo(name=name, pure=True, commutative=commutative,
+                       verify=verify, fold=_binary_fold(fn), py_eval=fn))
+
+
+with np.errstate(all="ignore"):
+    pass  # numpy error-state is managed by the executor, not at import time
+
+
+def _divf(a, b):
+    with np.errstate(divide="ignore", invalid="ignore"):
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return a / b
+        # scalar path: IEEE semantics (inf/nan), not ZeroDivisionError
+        return float(np.float64(a) / np.float64(b))
+
+
+def _remf(a, b):
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.fmod(a, b)
+
+
+_register_binary("arith.addf", operator.add, _require_float, commutative=True)
+_register_binary("arith.subf", operator.sub, _require_float)
+_register_binary("arith.mulf", operator.mul, _require_float, commutative=True)
+_register_binary("arith.divf", _divf, _require_float)
+_register_binary("arith.remf", _remf, _require_float)
+_register_binary("arith.maximumf", np.maximum, _require_float, commutative=True)
+_register_binary("arith.minimumf", np.minimum, _require_float, commutative=True)
+_register_binary("arith.addi", operator.add, _require_int, commutative=True)
+_register_binary("arith.subi", operator.sub, _require_int)
+_register_binary("arith.muli", operator.mul, _require_int, commutative=True)
+_register_binary("arith.divsi", lambda a, b: np.trunc(np.divide(a, b)).astype(np.int64) if isinstance(a, np.ndarray) else int(a / b) if b else 0, _require_int)
+_register_binary("arith.remsi", np.fmod, _require_int)
+_register_binary("arith.andi", operator.and_, _require_int, commutative=True)
+_register_binary("arith.ori", operator.or_, _require_int, commutative=True)
+_register_binary("arith.xori", operator.xor, _require_int, commutative=True)
+
+register_op(OpInfo(name="arith.negf", pure=True, verify=_require_float,
+                   fold=lambda op, xs: None if xs[0] is None else [-xs[0]],
+                   py_eval=operator.neg))
+
+register_op(OpInfo(name="arith.constant", pure=True,
+                   fold=lambda op, xs: [op.attributes["value"]],
+                   py_eval=None))
+
+
+def _verify_cmp(predicates):
+    def verify(op: Operation) -> None:
+        pred = op.attributes.get("predicate")
+        if pred not in predicates:
+            raise IRError(f"{op.name}: bad predicate {pred!r}")
+        _same_type(op)
+    return verify
+
+
+def _cmp_eval(op: Operation, lhs, rhs):
+    return _CMP_FN[op.attributes["predicate"]](lhs, rhs)
+
+
+register_op(OpInfo(name="arith.cmpf", pure=True,
+                   verify=_verify_cmp(CMPF_PREDICATES), py_eval=_cmp_eval))
+register_op(OpInfo(name="arith.cmpi", pure=True,
+                   verify=_verify_cmp(CMPI_PREDICATES), py_eval=_cmp_eval))
+
+
+def _select_eval(cond, true_val, false_val):
+    if isinstance(cond, np.ndarray):
+        return np.where(cond, true_val, false_val)
+    return true_val if cond else false_val
+
+
+register_op(OpInfo(name="arith.select", pure=True, py_eval=_select_eval,
+                   fold=lambda op, xs: None if xs[0] is None
+                   else ([xs[1]] if (xs[1] is not None and xs[0])
+                         else ([xs[2]] if (xs[2] is not None and not xs[0])
+                               else None))))
+
+register_op(OpInfo(name="arith.index_cast", pure=True,
+                   fold=lambda op, xs: None if xs[0] is None else [int(xs[0])],
+                   py_eval=lambda x: x if isinstance(x, np.ndarray) else int(x)))
+register_op(OpInfo(name="arith.sitofp", pure=True,
+                   fold=lambda op, xs: None if xs[0] is None else [float(xs[0])],
+                   py_eval=lambda x: x.astype(np.float64) if isinstance(x, np.ndarray) else float(x)))
+register_op(OpInfo(name="arith.fptosi", pure=True,
+                   fold=lambda op, xs: None if xs[0] is None else [int(xs[0])],
+                   py_eval=lambda x: np.trunc(x).astype(np.int64) if isinstance(x, np.ndarray) else int(x)))
+
+
+# ---------------------------------------------------------------------------
+# Builder helpers
+# ---------------------------------------------------------------------------
+
+
+def constant(b: IRBuilder, value: Any, ty: IRType = f64) -> Value:
+    """``arith.constant {value} : ty`` (interned per block)."""
+    return b.constant(value, ty)
+
+
+def _binary(b: IRBuilder, name: str, lhs: Value, rhs: Value) -> Value:
+    if str(lhs.type) != str(rhs.type):
+        raise IRError(f"{name}: type mismatch {lhs.type} vs {rhs.type}")
+    return b.create(name, [lhs, rhs], [lhs.type]).result
+
+
+def addf(b: IRBuilder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.addf", lhs, rhs)
+
+
+def subf(b: IRBuilder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.subf", lhs, rhs)
+
+
+def mulf(b: IRBuilder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.mulf", lhs, rhs)
+
+
+def divf(b: IRBuilder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.divf", lhs, rhs)
+
+
+def remf(b: IRBuilder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.remf", lhs, rhs)
+
+
+def maximumf(b: IRBuilder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.maximumf", lhs, rhs)
+
+
+def minimumf(b: IRBuilder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.minimumf", lhs, rhs)
+
+
+def negf(b: IRBuilder, operand: Value) -> Value:
+    return b.create("arith.negf", [operand], [operand.type]).result
+
+
+def addi(b: IRBuilder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.addi", lhs, rhs)
+
+
+def subi(b: IRBuilder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.subi", lhs, rhs)
+
+
+def muli(b: IRBuilder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.muli", lhs, rhs)
+
+
+def divsi(b: IRBuilder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.divsi", lhs, rhs)
+
+
+def remsi(b: IRBuilder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.remsi", lhs, rhs)
+
+
+def andi(b: IRBuilder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.andi", lhs, rhs)
+
+
+def ori(b: IRBuilder, lhs: Value, rhs: Value) -> Value:
+    return _binary(b, "arith.ori", lhs, rhs)
+
+
+def cmpf(b: IRBuilder, predicate: str, lhs: Value, rhs: Value) -> Value:
+    result_ty = broadcast_type(i1, vector_width(lhs.type))
+    return b.create("arith.cmpf", [lhs, rhs], [result_ty],
+                    {"predicate": predicate}).result
+
+
+def cmpi(b: IRBuilder, predicate: str, lhs: Value, rhs: Value) -> Value:
+    result_ty = broadcast_type(i1, vector_width(lhs.type))
+    return b.create("arith.cmpi", [lhs, rhs], [result_ty],
+                    {"predicate": predicate}).result
+
+
+def select(b: IRBuilder, cond: Value, true_val: Value, false_val: Value) -> Value:
+    if str(true_val.type) != str(false_val.type):
+        raise IRError("arith.select: branch type mismatch")
+    return b.create("arith.select", [cond, true_val, false_val],
+                    [true_val.type]).result
+
+
+def index_cast(b: IRBuilder, operand: Value, ty: IRType) -> Value:
+    return b.create("arith.index_cast", [operand], [ty]).result
+
+
+def sitofp(b: IRBuilder, operand: Value, ty: IRType = f64) -> Value:
+    return b.create("arith.sitofp", [operand], [ty]).result
+
+
+def fptosi(b: IRBuilder, operand: Value, ty: IRType = i64) -> Value:
+    return b.create("arith.fptosi", [operand], [ty]).result

@@ -1,0 +1,44 @@
+"""The ``cf`` dialect: unstructured branches.
+
+limpetMLIR itself emits structured control flow (``scf``), but the
+paper lists ``controlflow`` among the dialects it relies on (LUT row
+dispatch lowers through it).  We provide the two branch ops so lowering
+tests can exercise multi-block functions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core import Block, IRError, OpInfo, Operation, Value, register_op
+from ..builder import IRBuilder
+
+
+def _verify_br(op: Operation) -> None:
+    dest = op.attributes.get("dest")
+    if not isinstance(dest, Block):
+        raise IRError("cf.br: missing destination block")
+    if len(op.operands) != len(dest.args):
+        raise IRError("cf.br: operand count must match block arg count")
+
+
+def _verify_cond_br(op: Operation) -> None:
+    for key in ("true_dest", "false_dest"):
+        if not isinstance(op.attributes.get(key), Block):
+            raise IRError(f"cf.cond_br: missing {key}")
+    if not op.operands or str(op.operands[0].type) != "i1":
+        raise IRError("cf.cond_br: first operand must be i1")
+
+
+register_op(OpInfo(name="cf.br", terminator=True, verify=_verify_br))
+register_op(OpInfo(name="cf.cond_br", terminator=True, verify=_verify_cond_br))
+
+
+def br(b: IRBuilder, dest: Block, operands: Sequence[Value] = ()) -> Operation:
+    return b.create("cf.br", list(operands), [], {"dest": dest})
+
+
+def cond_br(b: IRBuilder, cond: Value, true_dest: Block,
+            false_dest: Block) -> Operation:
+    return b.create("cf.cond_br", [cond], [],
+                    {"true_dest": true_dest, "false_dest": false_dest})

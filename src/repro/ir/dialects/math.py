@@ -1,0 +1,181 @@
+"""The ``math`` dialect: transcendental functions.
+
+These are the calls that Intel's SVML vectorizes in the paper; the
+machine model charges them their (much higher) per-ISA costs, and the
+runtime maps them to NumPy ufuncs (our SVML stand-in).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core import IRError, OpInfo, Operation, Value, register_op
+from ..builder import IRBuilder
+
+
+def _guarded(fn):
+    """Evaluate a ufunc with IEEE semantics (NaN/inf instead of raising)."""
+    def wrapper(*args):
+        with np.errstate(all="ignore"):
+            return fn(*args)
+    return wrapper
+
+
+def _verify_float_unary(op: Operation) -> None:
+    if len(op.operands) != 1 or not op.operands[0].type.is_float:
+        raise IRError(f"{op.name}: expects one float operand")
+
+
+def _verify_float_binary(op: Operation) -> None:
+    if len(op.operands) != 2:
+        raise IRError(f"{op.name}: expects two operands")
+    for v in op.operands:
+        if not v.type.is_float:
+            raise IRError(f"{op.name}: expects float operands")
+
+
+def _unary_fold(fn):
+    def fold(op: Operation, xs: Sequence) -> Optional[Sequence]:
+        if xs[0] is None:
+            return None
+        try:
+            return [float(fn(xs[0]))]
+        except (ValueError, OverflowError):
+            return None
+    return fold
+
+
+# name -> (numpy ufunc, arity).  ``flops`` cost lives in the machine model.
+UNARY_OPS = {
+    "math.exp": np.exp,
+    "math.expm1": np.expm1,
+    "math.log": np.log,
+    "math.log10": np.log10,
+    "math.log2": np.log2,
+    "math.log1p": np.log1p,
+    "math.sqrt": np.sqrt,
+    "math.cbrt": np.cbrt,
+    "math.sin": np.sin,
+    "math.cos": np.cos,
+    "math.tan": np.tan,
+    "math.asin": np.arcsin,
+    "math.acos": np.arccos,
+    "math.atan": np.arctan,
+    "math.sinh": np.sinh,
+    "math.cosh": np.cosh,
+    "math.tanh": np.tanh,
+    "math.absf": np.abs,
+    "math.floor": np.floor,
+    "math.ceil": np.ceil,
+    "math.erf": None,  # filled below (scipy-free implementation)
+    "math.round": np.round,
+    "math.trunc": np.trunc,
+}
+
+BINARY_OPS = {
+    "math.powf": np.power,
+    "math.atan2": np.arctan2,
+    "math.copysign": np.copysign,
+    "math.fmod": np.fmod,
+}
+
+
+def _erf(x):
+    if isinstance(x, np.ndarray):
+        # Vectorized Abramowitz & Stegun 7.1.26 rational approximation;
+        # max abs error 1.5e-7, ample for an interpolation substrate.
+        sign = np.sign(x)
+        ax = np.abs(x)
+        t = 1.0 / (1.0 + 0.3275911 * ax)
+        poly = t * (0.254829592 + t * (-0.284496736 + t * (
+            1.421413741 + t * (-1.453152027 + t * 1.061405429))))
+        return sign * (1.0 - poly * np.exp(-ax * ax))
+    return math.erf(x)
+
+
+UNARY_OPS["math.erf"] = _erf
+
+for _name, _fn in UNARY_OPS.items():
+    register_op(OpInfo(name=_name, pure=True, verify=_verify_float_unary,
+                       fold=_unary_fold(_fn), py_eval=_guarded(_fn)))
+
+for _name, _fn in BINARY_OPS.items():
+    register_op(OpInfo(
+        name=_name, pure=True, verify=_verify_float_binary,
+        fold=lambda op, xs, fn=_fn: (None if None in xs
+                                     else [float(fn(xs[0], xs[1]))]),
+        py_eval=_guarded(_fn)))
+
+
+def _make_unary(name: str):
+    def build(b: IRBuilder, operand: Value) -> Value:
+        return b.create(name, [operand], [operand.type]).result
+    build.__name__ = name.split(".", 1)[1]
+    build.__doc__ = f"``{name}`` on a scalar or vector float value."
+    return build
+
+
+def _make_binary(name: str):
+    def build(b: IRBuilder, lhs: Value, rhs: Value) -> Value:
+        return b.create(name, [lhs, rhs], [lhs.type]).result
+    build.__name__ = name.split(".", 1)[1]
+    build.__doc__ = f"``{name}`` on scalar or vector float values."
+    return build
+
+
+exp = _make_unary("math.exp")
+expm1 = _make_unary("math.expm1")
+log = _make_unary("math.log")
+log10 = _make_unary("math.log10")
+log2 = _make_unary("math.log2")
+log1p = _make_unary("math.log1p")
+sqrt = _make_unary("math.sqrt")
+cbrt = _make_unary("math.cbrt")
+sin = _make_unary("math.sin")
+cos = _make_unary("math.cos")
+tan = _make_unary("math.tan")
+asin = _make_unary("math.asin")
+acos = _make_unary("math.acos")
+atan = _make_unary("math.atan")
+sinh = _make_unary("math.sinh")
+cosh = _make_unary("math.cosh")
+tanh = _make_unary("math.tanh")
+absf = _make_unary("math.absf")
+floor = _make_unary("math.floor")
+ceil = _make_unary("math.ceil")
+erf = _make_unary("math.erf")
+powf = _make_binary("math.powf")
+atan2 = _make_binary("math.atan2")
+copysign = _make_binary("math.copysign")
+
+#: Function names accepted in EasyML source -> math dialect op.
+EASYML_FUNCTIONS = {
+    "exp": "math.exp",
+    "expm1": "math.expm1",
+    "log": "math.log",
+    "ln": "math.log",
+    "log10": "math.log10",
+    "log2": "math.log2",
+    "log1p": "math.log1p",
+    "sqrt": "math.sqrt",
+    "cbrt": "math.cbrt",
+    "sin": "math.sin",
+    "cos": "math.cos",
+    "tan": "math.tan",
+    "asin": "math.asin",
+    "acos": "math.acos",
+    "atan": "math.atan",
+    "sinh": "math.sinh",
+    "cosh": "math.cosh",
+    "tanh": "math.tanh",
+    "fabs": "math.absf",
+    "abs": "math.absf",
+    "floor": "math.floor",
+    "ceil": "math.ceil",
+    "erf": "math.erf",
+    "pow": "math.powf",
+    "atan2": "math.atan2",
+}

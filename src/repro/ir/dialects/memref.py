@@ -1,0 +1,93 @@
+"""The ``memref`` dialect: buffers for cell state, parameters and LUTs.
+
+At runtime a memref is a NumPy array; these ops describe typed access
+to it.  The baseline backend's AoS accesses and the paper's
+``memref.view``/``memref.cast`` reinterpretations (Listing 3) both map
+here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core import IRError, OpInfo, Operation, Value, register_op
+from ..builder import IRBuilder
+from ..types import MemRefType, index
+
+
+def _verify_load(op: Operation) -> None:
+    if not op.operands or not isinstance(op.operands[0].type, MemRefType):
+        raise IRError("memref.load: first operand must be a memref")
+    mt = op.operands[0].type
+    if len(op.operands) - 1 != mt.rank:
+        raise IRError(f"memref.load: expected {mt.rank} indices, "
+                      f"got {len(op.operands) - 1}")
+    if str(op.result.type) != str(mt.element):
+        raise IRError("memref.load: result type must match element type")
+
+
+def _verify_store(op: Operation) -> None:
+    if len(op.operands) < 2 or not isinstance(op.operands[1].type, MemRefType):
+        raise IRError("memref.store: second operand must be a memref")
+    mt = op.operands[1].type
+    if len(op.operands) - 2 != mt.rank:
+        raise IRError(f"memref.store: expected {mt.rank} indices")
+    if str(op.operands[0].type) != str(mt.element):
+        raise IRError("memref.store: value type must match element type")
+
+
+def _verify_alloc(op: Operation) -> None:
+    if not isinstance(op.result.type, MemRefType):
+        raise IRError("memref.alloc: result must be a memref")
+    dynamic = sum(1 for d in op.result.type.shape if d is None)
+    if len(op.operands) != dynamic:
+        raise IRError("memref.alloc: one operand per dynamic dimension")
+
+
+register_op(OpInfo(name="memref.load", pure=True, verify=_verify_load))
+register_op(OpInfo(name="memref.store", verify=_verify_store))
+register_op(OpInfo(name="memref.alloc", verify=_verify_alloc))
+register_op(OpInfo(name="memref.dealloc"))
+register_op(OpInfo(name="memref.cast", pure=True))
+register_op(OpInfo(name="memref.view", pure=True))
+register_op(OpInfo(name="memref.dim", pure=True))
+register_op(OpInfo(name="memref.copy"))
+
+
+def alloc(b: IRBuilder, ty: MemRefType, dynamic_sizes: Sequence[Value] = ()) -> Value:
+    return b.create("memref.alloc", list(dynamic_sizes), [ty]).result
+
+
+def load(b: IRBuilder, source: Value, indices: Sequence[Value]) -> Value:
+    mt = source.type
+    if not isinstance(mt, MemRefType):
+        raise IRError(f"memref.load from non-memref {mt}")
+    return b.create("memref.load", [source, *indices], [mt.element]).result
+
+
+def store(b: IRBuilder, value: Value, dest: Value,
+          indices: Sequence[Value]) -> Operation:
+    return b.create("memref.store", [value, dest, *indices], [])
+
+
+def cast(b: IRBuilder, source: Value, ty: MemRefType) -> Value:
+    return b.create("memref.cast", [source], [ty]).result
+
+
+def view(b: IRBuilder, source: Value, byte_shift: Value, ty: MemRefType) -> Value:
+    """Reinterpret ``source`` at an element offset as a new memref.
+
+    MLIR's ``memref.view`` shifts by bytes into an i8 buffer; since our
+    runtime buffers are typed NumPy arrays we shift by elements, which
+    carries the same information for the cost model and the executor.
+    """
+    return b.create("memref.view", [source, byte_shift], [ty]).result
+
+
+def dim(b: IRBuilder, source: Value, dimension: int) -> Value:
+    return b.create("memref.dim", [source], [index],
+                    {"index": dimension}).result
+
+
+def copy(b: IRBuilder, source: Value, dest: Value) -> Operation:
+    return b.create("memref.copy", [source, dest], [])

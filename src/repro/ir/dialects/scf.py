@@ -1,0 +1,138 @@
+"""The ``scf`` dialect: structured control flow (for, if, yield).
+
+``scf.for`` carries optional loop-carried values (``iter_args``), used
+by the rk2/rk4/markov_be integrator emissions; ``scf.if`` is used for
+the conditional expressions that EasyML ``if`` statements produce.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core import (Block, IRError, OpInfo, Operation, Region, Value,
+                    register_op)
+from ..builder import IRBuilder
+from ..types import IRType, index
+
+
+def _verify_for(op: Operation) -> None:
+    if len(op.operands) < 3:
+        raise IRError("scf.for: needs lower bound, upper bound and step")
+    lb, ub, step = op.operands[:3]
+    for v, what in ((lb, "lower bound"), (ub, "upper bound"), (step, "step")):
+        if not v.type.is_integer:
+            raise IRError(f"scf.for: {what} must be integer-like, got {v.type}")
+    if len(op.regions) != 1 or len(op.regions[0].blocks) != 1:
+        raise IRError("scf.for: expects exactly one single-block region")
+    body = op.regions[0].entry
+    n_iter = len(op.operands) - 3
+    if len(body.args) != 1 + n_iter:
+        raise IRError("scf.for: body must take induction var + iter_args")
+    term = body.terminator
+    if term is None or term.name != "scf.yield":
+        raise IRError("scf.for: body must end in scf.yield")
+    if len(term.operands) != n_iter:
+        raise IRError("scf.for: yield arity must match iter_args")
+
+
+def _verify_if(op: Operation) -> None:
+    if len(op.operands) != 1:
+        raise IRError("scf.if: expects a single i1 condition")
+    if len(op.regions) not in (1, 2):
+        raise IRError("scf.if: expects then (and optional else) regions")
+    for region in op.regions:
+        term = region.entry.terminator
+        if term is None or term.name != "scf.yield":
+            raise IRError("scf.if: each branch must end in scf.yield")
+        if len(term.operands) != len(op.results):
+            raise IRError("scf.if: yield arity must match results")
+
+
+register_op(OpInfo(name="scf.for", verify=_verify_for))
+register_op(OpInfo(name="scf.if", verify=_verify_if))
+register_op(OpInfo(name="scf.yield", terminator=True))
+
+
+class ForOp:
+    """Structured wrapper over a built ``scf.for`` operation."""
+
+    def __init__(self, op: Operation):
+        self.op = op
+
+    @property
+    def body(self) -> Block:
+        return self.op.regions[0].entry
+
+    @property
+    def induction_var(self) -> Value:
+        return self.body.args[0]
+
+    @property
+    def iter_args(self) -> Sequence[Value]:
+        return self.body.args[1:]
+
+    @property
+    def lower_bound(self) -> Value:
+        return self.op.operands[0]
+
+    @property
+    def upper_bound(self) -> Value:
+        return self.op.operands[1]
+
+    @property
+    def step(self) -> Value:
+        return self.op.operands[2]
+
+    @property
+    def results(self) -> Sequence[Value]:
+        return self.op.results
+
+
+def for_op(b: IRBuilder, lower: Value, upper: Value, step: Value,
+           iter_init: Sequence[Value] = (),
+           iv_hint: str = "i") -> ForOp:
+    """Create an ``scf.for`` and return a wrapper exposing its body.
+
+    The caller positions a builder at ``loop.body`` to fill it in and
+    must finish with :func:`yield_op`.
+    """
+    body = Block([index] + [v.type for v in iter_init],
+                 [iv_hint] + [f"iter{i}" for i in range(len(iter_init))])
+    op = b.create("scf.for", [lower, upper, step, *iter_init],
+                  [v.type for v in iter_init],
+                  regions=[Region([body])])
+    return ForOp(op)
+
+
+class IfOp:
+    """Structured wrapper over a built ``scf.if`` operation."""
+
+    def __init__(self, op: Operation):
+        self.op = op
+
+    @property
+    def then_block(self) -> Block:
+        return self.op.regions[0].entry
+
+    @property
+    def else_block(self) -> Block:
+        if len(self.op.regions) < 2:
+            raise IRError("scf.if has no else region")
+        return self.op.regions[1].entry
+
+    @property
+    def results(self) -> Sequence[Value]:
+        return self.op.results
+
+
+def if_op(b: IRBuilder, cond: Value, result_types: Sequence[IRType] = (),
+          with_else: bool = True) -> IfOp:
+    regions = [Region([Block()])]
+    if with_else:
+        regions.append(Region([Block()]))
+    op = b.create("scf.if", [cond], list(result_types), regions=regions)
+    return IfOp(op)
+
+
+def yield_op(b: IRBuilder, values: Sequence[Value] = ()) -> Operation:
+    return b.create("scf.yield", list(values), [])

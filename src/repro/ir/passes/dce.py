@@ -1,0 +1,37 @@
+"""Dead code elimination: drop pure ops whose results are never used."""
+
+from __future__ import annotations
+
+from ..core import Block, Module, Operation
+from .pass_manager import Pass
+
+
+def _is_dead(op: Operation) -> bool:
+    if not op.is_pure or op.regions:
+        return False
+    return all(not r.uses for r in op.results)
+
+
+class DCE(Pass):
+    name = "dce"
+
+    def run(self, module: Module) -> bool:
+        changed = False
+        for func in module.ops:
+            for region in func.regions:
+                for block in region.blocks:
+                    changed |= self._run_on_block(block)
+        return changed
+
+    def _run_on_block(self, block: Block) -> bool:
+        changed = False
+        for op in list(block.ops):
+            for region in op.regions:
+                for inner in region.blocks:
+                    changed |= self._run_on_block(inner)
+        # Reverse order so a chain of dead ops dies in a single sweep.
+        for op in reversed(list(block.ops)):
+            if _is_dead(op):
+                op.erase()
+                changed = True
+        return changed

@@ -1,0 +1,93 @@
+"""Pass infrastructure: a fixed-point pass manager with statistics.
+
+limpetMLIR relies on MLIR's in-tree passes (the paper singles out loop
+invariant code motion and common subexpression elimination); this
+module provides the pipeline plumbing and :mod:`repro.ir.passes`
+provides those passes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core import Module
+from ..verifier import verify_module
+
+
+class Pass:
+    """Base class: subclasses set ``name`` and implement ``run``."""
+
+    name: str = "<unnamed>"
+
+    def run(self, module: Module) -> bool:
+        """Transform ``module`` in place; return True if anything changed."""
+        raise NotImplementedError
+
+
+@dataclass
+class PassStatistics:
+    """Per-pass bookkeeping accumulated by the pass manager."""
+
+    runs: int = 0
+    changed: int = 0
+    seconds: float = 0.0
+
+
+class PassManager:
+    """Runs a pipeline of passes, optionally to a fixed point."""
+
+    def __init__(self, passes: Optional[List[Pass]] = None,
+                 verify_each: bool = True, max_iterations: int = 8):
+        self.passes: List[Pass] = list(passes or [])
+        self.verify_each = verify_each
+        self.max_iterations = max_iterations
+        self.statistics: Dict[str, PassStatistics] = {}
+
+    def add(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, module: Module, fixed_point: bool = False) -> bool:
+        """Run the pipeline once (or until stable); return overall change."""
+        any_change = False
+        for _ in range(self.max_iterations if fixed_point else 1):
+            round_change = False
+            for pass_ in self.passes:
+                stats = self.statistics.setdefault(pass_.name,
+                                                   PassStatistics())
+                start = time.perf_counter()
+                changed = pass_.run(module)
+                stats.seconds += time.perf_counter() - start
+                stats.runs += 1
+                if changed:
+                    stats.changed += 1
+                    round_change = True
+                if self.verify_each:
+                    verify_module(module)
+            any_change = any_change or round_change
+            if not round_change:
+                break
+        return any_change
+
+    def summary(self) -> str:
+        lines = ["pass               runs  changed  seconds"]
+        for name, stats in self.statistics.items():
+            lines.append(f"{name:<18} {stats.runs:>4} {stats.changed:>8} "
+                         f"{stats.seconds:>8.4f}")
+        return "\n".join(lines)
+
+
+def default_pipeline(verify_each: bool = True) -> PassManager:
+    """The pipeline limpetMLIR applies to every generated module.
+
+    canonicalize (fold + simplify) -> CSE -> LICM -> DCE, run to a fixed
+    point, matching the in-tree MLIR pipeline the paper uses.
+    """
+    from .canonicalize import Canonicalize
+    from .cse import CSE
+    from .licm import LICM
+    from .dce import DCE
+    return PassManager([Canonicalize(), CSE(), LICM(), DCE()],
+                       verify_each=verify_each)

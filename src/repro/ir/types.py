@@ -1,0 +1,243 @@
+"""Type system for the MLIR-style IR.
+
+The paper's code generation only needs a small slice of MLIR's type
+system: scalar floats and integers, ``index``, fixed-shape vectors of
+doubles (the SIMD lanes, one cell per lane), and memrefs for the cell
+state arrays.  Types are immutable and interned so they can be compared
+with ``is`` or ``==`` interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Optional, Tuple
+
+
+class IRType:
+    """Base class for all IR types."""
+
+    def __str__(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{self.__class__.__name__} {self}>"
+
+    @property
+    def is_float(self) -> bool:
+        return False
+
+    @property
+    def is_integer(self) -> bool:
+        return False
+
+    @property
+    def is_vector(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class FloatType(IRType):
+    """An IEEE float type (f32 or f64)."""
+
+    width: int
+
+    _cache: ClassVar[dict] = {}
+
+    def __post_init__(self) -> None:
+        if self.width not in (32, 64):
+            raise ValueError(f"unsupported float width: {self.width}")
+
+    def __str__(self) -> str:
+        return f"f{self.width}"
+
+    @property
+    def is_float(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class IntegerType(IRType):
+    """A signless integer type (i1, i32, i64...)."""
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width not in (1, 8, 16, 32, 64):
+            raise ValueError(f"unsupported integer width: {self.width}")
+
+    def __str__(self) -> str:
+        return f"i{self.width}"
+
+    @property
+    def is_integer(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class IndexType(IRType):
+    """Target-width integer used for loop counters and memory indexing."""
+
+    def __str__(self) -> str:
+        return "index"
+
+    @property
+    def is_integer(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class VectorType(IRType):
+    """A fixed-width 1-D vector, e.g. ``vector<8xf64>``."""
+
+    width: int
+    element: IRType
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError(f"vector width must be >= 1, got {self.width}")
+        if isinstance(self.element, (VectorType, MemRefType)):
+            raise ValueError("vectors of vectors/memrefs are not supported")
+
+    def __str__(self) -> str:
+        return f"vector<{self.width}x{self.element}>"
+
+    @property
+    def is_vector(self) -> bool:
+        return True
+
+    @property
+    def is_float(self) -> bool:
+        return self.element.is_float
+
+    @property
+    def is_integer(self) -> bool:
+        return self.element.is_integer
+
+
+@dataclass(frozen=True)
+class MemRefType(IRType):
+    """A shaped buffer reference, e.g. ``memref<?xf64>``.
+
+    ``shape`` entries of ``None`` denote dynamic dimensions (printed as
+    ``?``), matching MLIR's convention.
+    """
+
+    shape: Tuple[Optional[int], ...]
+    element: IRType
+
+    def __str__(self) -> str:
+        dims = "x".join("?" if d is None else str(d) for d in self.shape)
+        if dims:
+            return f"memref<{dims}x{self.element}>"
+        return f"memref<{self.element}>"
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+
+@dataclass(frozen=True)
+class FunctionType(IRType):
+    """A function signature type."""
+
+    inputs: Tuple[IRType, ...]
+    results: Tuple[IRType, ...]
+
+    def __str__(self) -> str:
+        ins = ", ".join(str(t) for t in self.inputs)
+        outs = ", ".join(str(t) for t in self.results)
+        if len(self.results) == 1:
+            return f"({ins}) -> {outs}"
+        return f"({ins}) -> ({outs})"
+
+
+@dataclass(frozen=True)
+class NoneType(IRType):
+    """The unit type for ops with no meaningful result."""
+
+    def __str__(self) -> str:
+        return "none"
+
+
+# Interned singletons used throughout the code base.
+f32 = FloatType(32)
+f64 = FloatType(64)
+i1 = IntegerType(1)
+i8 = IntegerType(8)
+i32 = IntegerType(32)
+i64 = IntegerType(64)
+index = IndexType()
+none = NoneType()
+
+
+def vector_of(width: int, element: IRType = f64) -> VectorType:
+    """Return ``vector<{width}x{element}>``."""
+    return VectorType(width, element)
+
+
+def memref_of(element: IRType, *shape: Optional[int]) -> MemRefType:
+    """Return ``memref<{shape}x{element}>``; dims default to one dynamic dim."""
+    if not shape:
+        shape = (None,)
+    return MemRefType(tuple(shape), element)
+
+
+def element_type(ty: IRType) -> IRType:
+    """The scalar element of ``ty`` (itself if already scalar)."""
+    if isinstance(ty, VectorType):
+        return ty.element
+    if isinstance(ty, MemRefType):
+        return ty.element
+    return ty
+
+
+def vector_width(ty: IRType) -> int:
+    """The lane count of ``ty`` (1 for scalars)."""
+    if isinstance(ty, VectorType):
+        return ty.width
+    return 1
+
+
+def broadcast_type(ty: IRType, width: int) -> IRType:
+    """Return ``ty`` widened to ``width`` lanes (identity for width 1)."""
+    if width == 1:
+        return ty
+    scalar = element_type(ty)
+    return VectorType(width, scalar)
+
+
+def same_shape(a: IRType, b: IRType) -> bool:
+    """True when two types have identical vector shape (ignoring element)."""
+    return vector_width(a) == vector_width(b)
+
+
+def parse_type(text: str) -> IRType:
+    """Parse a type from its printed form (inverse of ``str``).
+
+    Supports the subset this IR produces: scalars, vectors, memrefs and
+    function types are handled by the full IR parser instead.
+    """
+    text = text.strip()
+    simple = {
+        "f32": f32,
+        "f64": f64,
+        "i1": i1,
+        "i8": i8,
+        "i32": i32,
+        "i64": i64,
+        "index": index,
+        "none": none,
+    }
+    if text in simple:
+        return simple[text]
+    if text.startswith("vector<") and text.endswith(">"):
+        body = text[len("vector<"):-1]
+        width_str, _, elem_str = body.partition("x")
+        return VectorType(int(width_str), parse_type(elem_str))
+    if text.startswith("memref<") and text.endswith(">"):
+        body = text[len("memref<"):-1]
+        parts = body.split("x")
+        *dim_parts, elem_str = parts
+        shape = tuple(None if p == "?" else int(p) for p in dim_parts)
+        return MemRefType(shape, parse_type(elem_str))
+    raise ValueError(f"cannot parse type: {text!r}")

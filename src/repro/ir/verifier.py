@@ -1,0 +1,68 @@
+"""Structural and SSA verification.
+
+Checks the invariants MLIR's verifier would: registered ops only,
+per-op invariants via :class:`OpInfo.verify`, terminators at block
+ends, and define-before-use visibility (values are visible in the block
+that defines them after their definition, and in any nested region).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from .core import (Block, IRError, Module, Operation,
+                   op_info)
+
+
+class VerificationError(IRError):
+    """Raised when a module violates an IR invariant."""
+
+
+def verify_module(module: Module, allow_unregistered: bool = False) -> None:
+    """Verify ``module``; raises :class:`VerificationError` on failure."""
+    visible: Set[int] = set()
+    for op in module.ops:
+        _verify_op(op, visible, allow_unregistered)
+
+
+def _verify_op(op: Operation, visible: Set[int],
+               allow_unregistered: bool) -> None:
+    info = op_info(op.name)
+    if info is None and not allow_unregistered:
+        raise VerificationError(f"unregistered operation: {op.name}")
+    for i, operand in enumerate(op.operands):
+        if id(operand) not in visible:
+            raise VerificationError(
+                f"{op.name}: operand #{i} "
+                f"(%{operand.name_hint or '?'}: {operand.type}) is not "
+                f"visible at its use (define-before-use violation)")
+    if info is not None and info.verify is not None:
+        try:
+            info.verify(op)
+        except IRError as err:
+            if isinstance(err, VerificationError):
+                raise
+            raise VerificationError(str(err)) from err
+    for region in op.regions:
+        for block in region.blocks:
+            _verify_block(block, set(visible), allow_unregistered)
+    for result in op.results:
+        visible.add(id(result))
+
+
+def _verify_block(block: Block, visible: Set[int],
+                  allow_unregistered: bool) -> None:
+    for arg in block.args:
+        visible.add(id(arg))
+    for i, op in enumerate(block.ops):
+        if op.is_terminator and i != len(block.ops) - 1:
+            raise VerificationError(
+                f"{op.name}: terminator is not the last op in its block")
+        _verify_op(op, visible, allow_unregistered)
+
+
+def verify_op_isolated(op: Operation) -> None:
+    """Verify a single op's own invariants (not SSA visibility)."""
+    info = op_info(op.name)
+    if info is not None and info.verify is not None:
+        info.verify(op)

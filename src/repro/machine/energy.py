@@ -1,0 +1,118 @@
+"""Energy model (paper §7: "power consumption versus compute time").
+
+The paper lists energy evaluation as future work; this module
+implements it on top of the cost model: per-operation dynamic energy
+(derived from published per-instruction pJ classes for server cores)
+plus static/leakage power integrated over the modeled runtime.  The
+interesting question the §7 sentence raises — does vectorization save
+*energy* as well as time? — is answered by
+:func:`compare_energy` and the ``bench_sec7_energy`` benchmark: SIMD
+amortizes instruction overheads, and the shorter runtime slashes the
+static-power share, so limpetMLIR wins on both axes (lower
+energy-delay product everywhere).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..codegen.common import BackendMode
+from .arch import CASCADE_LAKE, Machine, VectorISA
+from .costmodel import CostModel
+from .instrument import KernelProfile
+
+#: dynamic energy per operation class, picojoules (server-class core,
+#: 14 nm: ALU op ~20 pJ scalar; a W-lane vector op costs ~W/2 x the
+#: scalar op, not W x — the amortization that makes SIMD efficient)
+SCALAR_FP_PJ = 20.0
+VECTOR_FP_PJ_PER_LANE = 11.0
+SCALAR_MEM_PJ = 60.0            # L1-hit load/store incl. address path
+VECTOR_MEM_PJ_PER_LANE = 25.0
+GATHER_PJ_PER_LANE = 55.0
+LIBM_CALL_PJ = 900.0            # scalar exp/log class
+SVML_PJ_PER_LANE = 140.0
+DRAM_PJ_PER_BYTE = 15.0
+#: package static + uncore power per active core (W)
+STATIC_W_PER_CORE = 2.4
+PACKAGE_BASE_W = 18.0
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """Modeled energy of one full bench run."""
+
+    joules: float
+    dynamic_joules: float
+    static_joules: float
+    seconds: float
+
+    @property
+    def average_watts(self) -> float:
+        return self.joules / self.seconds if self.seconds else 0.0
+
+    @property
+    def energy_delay_product(self) -> float:
+        """EDP in joule-seconds: the §7 power-vs-time trade-off metric."""
+        return self.joules * self.seconds
+
+
+class EnergyModel:
+    """Per-run energy on the modeled testbed."""
+
+    def __init__(self, machine: Machine = CASCADE_LAKE,
+                 cost_model: Optional[CostModel] = None):
+        self.machine = machine
+        self.cost = cost_model or CostModel(machine)
+
+    def dynamic_joules_per_cell(self, p: KernelProfile,
+                                isa: VectorISA) -> float:
+        """Dynamic (switching) energy per simulated cell per step."""
+        lanes = float(p.width)
+        if p.width == 1:
+            fp = (p.simple_fp + p.div_fp + p.int_ops) * SCALAR_FP_PJ
+            mem = (p.scalar_loads + p.scalar_stores
+                   + p.lut_columns_scalar * 2.0) * SCALAR_MEM_PJ
+            libm = (p.exp_class + p.pow_class) * LIBM_CALL_PJ
+            per_iter = fp + mem + libm + p.other_calls * LIBM_CALL_PJ
+        else:
+            fp = (p.simple_fp + p.div_fp + p.int_ops) * lanes \
+                * VECTOR_FP_PJ_PER_LANE
+            mem = ((p.contiguous_loads + p.contiguous_stores) * lanes
+                   * VECTOR_MEM_PJ_PER_LANE
+                   + (p.gathers + p.scatters + p.lut_columns_vector * 2.0)
+                   * lanes * GATHER_PJ_PER_LANE
+                   + p.lut_columns_scalar * 2.0 * SCALAR_MEM_PJ)
+            libm = (p.exp_class + p.pow_class) * lanes * SVML_PJ_PER_LANE
+            libm += p.lut_calls_scalar * LIBM_CALL_PJ  # serialized (icc)
+            per_iter = fp + mem + libm
+        dram = self.cost.bytes_per_cell(p) * DRAM_PJ_PER_BYTE * lanes
+        return (per_iter + dram) * 1e-12 / lanes
+
+    def run_energy(self, p: KernelProfile, isa: VectorISA, threads: int,
+                   n_cells: int, n_steps: int,
+                   mode: BackendMode = BackendMode.LIMPET_MLIR
+                   ) -> EnergyPoint:
+        """Energy of a full bench run (dynamic + static over runtime)."""
+        seconds = self.cost.total_time(p, isa, threads, n_cells, n_steps,
+                                       mode)
+        dynamic = self.dynamic_joules_per_cell(p, isa) * n_cells * n_steps
+        static_power = PACKAGE_BASE_W + STATIC_W_PER_CORE * min(
+            threads, self.machine.n_cores)
+        static = static_power * seconds
+        return EnergyPoint(joules=dynamic + static,
+                           dynamic_joules=dynamic, static_joules=static,
+                           seconds=seconds)
+
+
+def compare_energy(profile_base: KernelProfile,
+                   profile_vec: KernelProfile, isa: VectorISA,
+                   threads: int, n_cells: int, n_steps: int,
+                   machine: Machine = CASCADE_LAKE):
+    """(baseline EnergyPoint, limpetMLIR EnergyPoint) for one config."""
+    model = EnergyModel(machine)
+    base = model.run_energy(profile_base, isa, threads, n_cells, n_steps,
+                            BackendMode.BASELINE)
+    vec = model.run_energy(profile_vec, isa, threads, n_cells, n_steps,
+                           BackendMode.LIMPET_MLIR)
+    return base, vec

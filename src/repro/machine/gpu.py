@@ -1,0 +1,100 @@
+"""GPU cost model — pricing the SIMT kernels of the §7 extension.
+
+A V100-class accelerator (the device contemporaneous with the paper's
+Cascade Lake testbed): the model consumes the same
+:class:`~repro.machine.instrument.KernelProfile` the CPU model uses,
+with device-appropriate throughput classes:
+
+* fp64 FMA throughput on all SMs;
+* libdevice transcendentals (a fixed multiple of an FMA);
+* HBM2 streaming bandwidth for the coalesced SoA state traffic, with a
+  random-access waste factor for LUT row gathers;
+* a fixed kernel-launch latency per time step — the term that makes
+  *small* models GPU-unfriendly (the same role OpenMP barriers play in
+  Fig. 3/4) and motivates the paper's StarPU-style heterogeneous
+  scheduling remark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .instrument import KernelProfile
+
+#: instruction-throughput multiples of one fp64 op
+DIV_UNITS = 12.0
+EXP_UNITS = 14.0
+POW_UNITS = 26.0
+FOREIGN_UNITS = 60.0
+LUT_COLUMN_UNITS = 6.0          # 2 dependent loads + interp math
+
+
+@dataclass(frozen=True)
+class GPUDevice:
+    """A V100-class device description."""
+
+    name: str = "tesla-v100"
+    fp64_gflops: float = 3500.0       # sustained, not peak (7.8 peak)
+    mem_bw_gbs: float = 780.0         # sustained HBM2 (900 peak)
+    launch_overhead_us: float = 7.0   # per kernel launch (one per step)
+    #: effective-traffic multiplier for data-dependent LUT row reads
+    lut_random_access_waste: float = 4.0
+    #: occupancy-limited utilization for very small grids
+    min_saturating_cells: float = 40_000.0
+
+
+V100 = GPUDevice()
+
+
+@dataclass(frozen=True)
+class GPUTimePoint:
+    seconds: float
+    compute_seconds: float
+    memory_seconds: float
+    launch_seconds: float
+
+
+class GPUCostModel:
+    """Evaluates SIMT kernel profiles on a GPU device description."""
+
+    def __init__(self, device: GPUDevice = V100):
+        self.device = device
+
+    def work_units_per_cell(self, p: KernelProfile) -> float:
+        """fp64-op equivalents per cell per step."""
+        return (p.simple_fp
+                + p.div_fp * DIV_UNITS
+                + p.exp_class * EXP_UNITS
+                + p.pow_class * POW_UNITS
+                + p.int_ops * 0.5
+                + p.lut_columns_scalar * LUT_COLUMN_UNITS
+                + p.other_calls * FOREIGN_UNITS
+                + 4.0)
+
+    def bytes_per_cell(self, p: KernelProfile) -> float:
+        """HBM traffic per cell per step (SoA accesses coalesce)."""
+        streaming = (p.scalar_loads + p.scalar_stores) * 8.0
+        lut = p.lut_columns_scalar * 2.0 * 8.0 \
+            * self.device.lut_random_access_waste
+        return streaming + lut
+
+    def step_time(self, p: KernelProfile, n_cells: int) -> GPUTimePoint:
+        """Modeled wall time of one compute step on the device."""
+        device = self.device
+        utilization = min(1.0, n_cells / device.min_saturating_cells)
+        # small grids cannot fill the SMs: effective throughput scales
+        # with occupancy (but never below a single-SM floor of ~2%)
+        effective_gflops = device.fp64_gflops * max(utilization, 0.02)
+        effective_bw = device.mem_bw_gbs * max(utilization, 0.05)
+        t_compute = self.work_units_per_cell(p) * n_cells \
+            / (effective_gflops * 1e9)
+        t_memory = self.bytes_per_cell(p) * n_cells / (effective_bw * 1e9)
+        t_launch = device.launch_overhead_us * 1e-6
+        return GPUTimePoint(
+            seconds=max(t_compute, t_memory) + t_launch,
+            compute_seconds=t_compute, memory_seconds=t_memory,
+            launch_seconds=t_launch)
+
+    def total_time(self, p: KernelProfile, n_cells: int,
+                   n_steps: int) -> float:
+        return self.step_time(p, n_cells).seconds * n_steps

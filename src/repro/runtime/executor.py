@@ -1,0 +1,155 @@
+"""The simulation driver: compile a kernel, run the two-stage flow.
+
+Mirrors openCARP's ``bench`` execution (§3.1): per time step, (1) the
+**compute stage** calls the generated ionic-model kernel for every
+cell, then (2) the **solver stage** — out of the paper's scope, stubbed
+here as an explicit membrane update — advances ``Vm`` from the computed
+``Iion`` plus an optional stimulus.  The stub is identical for every
+backend so trajectories are directly comparable.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..codegen.common import GeneratedKernel
+from ..frontend.model import IonicModel
+from ..ir.passes import default_pipeline
+from ..ir.verifier import verify_module
+from .lowering import CompiledKernel, lower_function
+from .lut_runtime import LUTData, build_all_luts
+from .state import SimulationState, allocate_state
+
+
+@dataclass
+class Stimulus:
+    """A periodic square current pulse, like bench's default stimulus."""
+
+    amplitude: float = -30.0
+    duration: float = 2.0
+    period: float = 1000.0
+    start: float = 0.0
+
+    def current(self, t: float) -> float:
+        phase = (t - self.start) % self.period
+        if self.start <= t and 0.0 <= phase < self.duration:
+            return self.amplitude
+        return 0.0
+
+
+@dataclass
+class RunResult:
+    """Outcome of a timed simulation run."""
+
+    state: SimulationState
+    n_steps: int
+    dt: float
+    elapsed_seconds: float
+    vm_trace: Optional[np.ndarray] = None
+
+    @property
+    def seconds_per_step(self) -> float:
+        return self.elapsed_seconds / max(self.n_steps, 1)
+
+
+class KernelRunner:
+    """Owns one compiled kernel and runs simulations with it."""
+
+    def __init__(self, generated: GeneratedKernel, optimize: bool = True,
+                 verify: bool = True):
+        self.generated = generated
+        self.spec = generated.spec
+        self.model: IonicModel = generated.spec.model
+        self.layout = generated.layout
+        if optimize:
+            default_pipeline(verify_each=False).run(generated.module,
+                                                    fixed_point=True)
+        if verify:
+            verify_module(generated.module)
+        self.kernel: CompiledKernel = lower_function(
+            generated.module, generated.spec.function_name)
+        # LUTs include dt-dependent Rush-Larsen columns: built lazily
+        # for the dt of the first step, rebuilt if dt changes.
+        self._lut_cache: Dict[float, List[LUTData]] = {}
+
+    def luts_for(self, dt: float) -> List[LUTData]:
+        if not self.spec.use_lut:
+            return []
+        if dt not in self._lut_cache:
+            self._lut_cache[dt] = build_all_luts(self.model, dt=dt)
+        return self._lut_cache[dt]
+
+    # -- setup --------------------------------------------------------------------
+
+    def make_state(self, n_cells: int, vm_init: Optional[float] = None,
+                   perturbation: float = 0.0,
+                   rng: Optional[np.random.Generator] = None
+                   ) -> SimulationState:
+        return allocate_state(self.model, self.layout, n_cells,
+                              width=self.spec.width, vm_init=vm_init,
+                              perturbation=perturbation, rng=rng)
+
+    # -- stepping ------------------------------------------------------------------
+
+    def compute_step(self, state: SimulationState, dt: float) -> None:
+        """One compute-stage invocation over all cells."""
+        args = [0, state.n_alloc, dt, state.time, state.sv]
+        args += [state.externals[ext] for ext in self.model.externals]
+        if self.spec.use_lut:
+            args += self.luts_for(dt)
+        self.kernel.fn(*args)
+
+    def solver_step(self, state: SimulationState, dt: float,
+                    stimulus: Optional[Stimulus] = None) -> None:
+        """The stubbed solver stage: explicit membrane potential update.
+
+        dVm/dt = -(Iion + Istim); models that do not write an ionic
+        current leave ``Vm`` untouched (the solver has nothing to do).
+        """
+        if "Vm" not in state.externals or "Iion" not in state.externals:
+            return
+        if "Iion" not in self.model.outputs:
+            return
+        istim = stimulus.current(state.time) if stimulus else 0.0
+        vm = state.externals["Vm"]
+        vm -= dt * (state.externals["Iion"] + istim)
+
+    def run(self, state: SimulationState, n_steps: int, dt: float = 0.01,
+            stimulus: Optional[Stimulus] = None,
+            record_vm: bool = False) -> RunResult:
+        """Run the two-stage simulation for ``n_steps`` steps of ``dt``."""
+        trace = np.empty(n_steps) if record_vm else None
+        start = _time.perf_counter()
+        for step in range(n_steps):
+            self.compute_step(state, dt)
+            self.solver_step(state, dt, stimulus)
+            state.time += dt
+            state.steps_done += 1
+            if record_vm and "Vm" in state.externals:
+                trace[step] = state.externals["Vm"][0]
+        elapsed = _time.perf_counter() - start
+        return RunResult(state=state, n_steps=n_steps, dt=dt,
+                         elapsed_seconds=elapsed, vm_trace=trace)
+
+    def simulate(self, n_cells: int, n_steps: int, dt: float = 0.01,
+                 stimulus: Optional[Stimulus] = None,
+                 perturbation: float = 0.0,
+                 record_vm: bool = False) -> RunResult:
+        """Allocate, run, return — the one-call benchmark entry point."""
+        state = self.make_state(n_cells, perturbation=perturbation)
+        return self.run(state, n_steps, dt, stimulus, record_vm)
+
+
+def compare_trajectories(a: SimulationState, b: SimulationState,
+                         rtol: float = 1e-9, atol: float = 1e-11) -> bool:
+    """True when two runs' states and externals agree within tolerance."""
+    snap_a, snap_b = a.snapshot(), b.snapshot()
+    if snap_a.keys() != snap_b.keys():
+        return False
+    return all(np.allclose(snap_a[k], snap_b[k], rtol=rtol, atol=atol,
+                           equal_nan=True)
+               for k in snap_a)

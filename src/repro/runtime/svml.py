@@ -1,0 +1,64 @@
+"""The SVML analog: vectorized math for the lowered kernels.
+
+The paper links the generated code against Intel's Short Vector Math
+Library — "we rely on Intel's SVML library for the vectorization of
+mathematical functions" (§4.1 footnote) — and credits it for the
+outsized speedups of math-heavy models like ISAC_Hu.  In this
+reproduction NumPy's C-implemented ufuncs play SVML's role: one call
+evaluates a transcendental over every lane.
+
+This module is the single source of truth for the mapping from IR
+``math.*`` ops to their vectorized implementations; the lowering embeds
+these expression templates into the generated kernels, and the machine
+model prices the same ops with per-ISA SVML throughput classes
+(:mod:`repro.machine.arch`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+#: IR op -> python expression template over vectorized operands
+VECTOR_MATH_TEMPLATES: Dict[str, str] = {
+    "math.exp": "np.exp({0})",
+    "math.expm1": "np.expm1({0})",
+    "math.log": "np.log({0})",
+    "math.log10": "np.log10({0})",
+    "math.log2": "np.log2({0})",
+    "math.log1p": "np.log1p({0})",
+    "math.sqrt": "np.sqrt({0})",
+    "math.cbrt": "np.cbrt({0})",
+    "math.sin": "np.sin({0})",
+    "math.cos": "np.cos({0})",
+    "math.tan": "np.tan({0})",
+    "math.asin": "np.arcsin({0})",
+    "math.acos": "np.arccos({0})",
+    "math.atan": "np.arctan({0})",
+    "math.sinh": "np.sinh({0})",
+    "math.cosh": "np.cosh({0})",
+    "math.tanh": "np.tanh({0})",
+    "math.absf": "np.abs({0})",
+    "math.floor": "np.floor({0})",
+    "math.ceil": "np.ceil({0})",
+    "math.erf": "_np_erf({0})",
+    "math.round": "np.round({0})",
+    "math.trunc": "np.trunc({0})",
+    "math.powf": "np.power({0}, {1})",
+    "math.atan2": "np.arctan2({0}, {1})",
+    "math.copysign": "np.copysign({0}, {1})",
+    "math.fmod": "np.fmod({0}, {1})",
+}
+
+
+def vector_math_ufunc(op_name: str):
+    """The NumPy ufunc backing one IR math op (for direct callers)."""
+    mapping = {
+        "math.exp": np.exp, "math.log": np.log, "math.sqrt": np.sqrt,
+        "math.tanh": np.tanh, "math.powf": np.power, "math.sin": np.sin,
+        "math.cos": np.cos, "math.atan": np.arctan,
+    }
+    if op_name not in mapping:
+        raise KeyError(f"no registered ufunc for {op_name}")
+    return mapping[op_name]

@@ -1,0 +1,150 @@
+"""Bench harness tests: timing protocol, variants, figure data."""
+
+import pytest
+
+from repro.bench import (BenchConfig, ModeledBench, figure_isa_sweep,
+                         figure_roofline, figure_scaling, figure_speedups,
+                         format_isa_sweep, format_scaling_table,
+                         format_speedup_table, generate_variant, geomean,
+                         kernel_profile, run_measured, sweep_average_geomean,
+                         trimmed_mean)
+from repro.codegen import BackendMode
+from repro.machine import AVX512, SSE
+from repro.models import load_model
+
+
+class TestTimingProtocol:
+    def test_trimmed_mean_drops_extrema(self):
+        # paper: 5 runs, drop min and max, average the middle 3
+        assert trimmed_mean([10.0, 1.0, 2.0, 3.0, 0.1]) == 2.0
+
+    def test_trimmed_mean_short_input(self):
+        assert trimmed_mean([5.0]) == 5.0
+        assert trimmed_mean([1.0, 3.0]) in (1.0, 2.0, 3.0)
+
+    def test_trimmed_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([])
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([5.0]) == pytest.approx(5.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([])
+
+
+class TestVariants:
+    def test_all_variants_generate(self, gate_model):
+        from repro.bench import VARIANTS
+        for variant in VARIANTS:
+            kernel = generate_variant(gate_model, variant, width=4)
+            assert kernel.module is not None, variant
+
+    def test_unknown_variant_rejected(self, gate_model):
+        with pytest.raises(ValueError):
+            generate_variant(gate_model, "turbo")
+
+    def test_variant_modes(self, gate_model):
+        assert generate_variant(gate_model, "baseline").spec.mode is \
+            BackendMode.BASELINE
+        assert generate_variant(gate_model, "icc_simd").spec.mode is \
+            BackendMode.ICC_SIMD
+
+    def test_kernel_profile_cached(self):
+        p1 = kernel_profile("Plonsey", "limpet_mlir", 8)
+        p2 = kernel_profile("Plonsey", "limpet_mlir", 8)
+        assert p1 is p2
+
+
+class TestBenchConfig:
+    def test_paper_defaults(self):
+        config = BenchConfig()
+        assert config.n_cells == 8192
+        assert config.n_steps == 100_000
+        assert config.dt == 0.01
+
+    def test_stimulus_scaled_for_normalized_models(self):
+        config = BenchConfig()
+        ms = load_model("MitchellSchaeffer")
+        lr = load_model("LuoRudy91")
+        assert abs(config.stimulus_for(ms).amplitude) < 1.0
+        assert abs(config.stimulus_for(lr).amplitude) >= 10.0
+
+
+class TestModeledBench:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return ModeledBench()
+
+    def test_speedup_positive(self, bench):
+        assert bench.speedup("LuoRudy91", AVX512, 1) > 1.0
+
+    def test_run_record(self, bench):
+        run = bench.run("Plonsey", "baseline", AVX512, 4)
+        assert run.size_class == "small"
+        assert run.seconds > 0
+
+    def test_isa_affects_vector_not_baseline(self, bench):
+        base_sse = bench.seconds("LuoRudy91", "baseline", SSE, 1)
+        base_avx = bench.seconds("LuoRudy91", "baseline", AVX512, 1)
+        assert base_sse == base_avx
+        vec_sse = bench.seconds("LuoRudy91", "limpet_mlir", SSE, 1)
+        vec_avx = bench.seconds("LuoRudy91", "limpet_mlir", AVX512, 1)
+        assert vec_avx < vec_sse
+
+
+class TestMeasured:
+    def test_run_measured_smoke(self):
+        result = run_measured("HodgkinHuxley", "limpet_mlir", 8,
+                              n_cells=64, n_steps=10, runs=2)
+        assert result.seconds > 0
+        assert result.model == "HodgkinHuxley"
+
+    def test_measured_vector_beats_baseline(self):
+        base = run_measured("LuoRudy91", "baseline", n_cells=256,
+                            n_steps=25, runs=3)
+        vec = run_measured("LuoRudy91", "limpet_mlir", 8, n_cells=256,
+                           n_steps=25, runs=3)
+        assert vec.seconds < base.seconds
+
+
+class TestFigureData:
+    def test_fig2_ordering_and_classes(self):
+        bars = figure_speedups(threads=1, models=("Plonsey", "LuoRudy91",
+                                                  "OHara"))
+        times = [b.baseline_seconds for b in bars]
+        assert times == sorted(times)
+        assert [b.size_class for b in bars] == ["small", "medium", "large"]
+
+    def test_fig2_format(self):
+        bars = figure_speedups(threads=1, models=("Plonsey", "OHara"))
+        text = format_speedup_table(bars, "Fig. 2")
+        assert "Plonsey" in text and "geomean overall" in text
+
+    def test_fig4_series_complete(self):
+        series = figure_scaling(thread_sweep=(1, 32))
+        assert len(series) == 6   # 3 classes x 2 variants
+        text = format_scaling_table(series)
+        assert "large" in text and "limpet_mlir" in text
+
+    def test_fig5_rows(self):
+        rows = figure_isa_sweep(thread_sweep=(1,),
+                                models=("Plonsey", "LuoRudy91"))
+        assert [r.isa for r in rows] == ["sse", "avx2", "avx512"]
+        text = format_isa_sweep(rows)
+        assert "overall geomean" in text
+
+    def test_fig6_points(self):
+        points, ceilings = figure_roofline(models=("LuoRudy91", "OHara"))
+        assert len(points) == 2
+        assert ceilings.peak_gflops == 760.0
+
+    def test_sweep_average_geomean(self):
+        value = sweep_average_geomean("limpet_mlir", thread_sweep=(1,),
+                                      models=("LuoRudy91",))
+        bench = ModeledBench()
+        assert value == pytest.approx(bench.speedup("LuoRudy91", AVX512, 1))

@@ -1,0 +1,95 @@
+"""CLI tests: every subcommand runs and prints what it promises."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestList:
+    def test_lists_all_models(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        assert "47 models shipped" in out
+        assert "43 limpetMLIR-supported" in out
+        assert "HodgkinHuxley" in out and "OHara" in out
+        assert "no (foreign)" in out
+
+    def test_mentions_class_split(self, capsys):
+        _, out = run_cli(capsys, "list")
+        assert "8 small / 22 medium / 13 large" in out
+
+    def test_legality_subcommand(self, capsys):
+        code, out = run_cli(capsys, "legality", "HodgkinHuxley")
+        assert code == 0 and "VECTORIZABLE" in out
+        code, out = run_cli(capsys, "legality", "ARPF")
+        assert code == 1 and "NOT VECTORIZABLE" in out
+
+
+class TestDescribe:
+    def test_describe_prints_analysis(self, capsys):
+        code, out = run_cli(capsys, "describe", "HodgkinHuxley")
+        assert code == 0
+        assert "states (3)" in out
+        assert "rush_larsen" in out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["describe", "Nope"])
+
+
+class TestIR:
+    def test_default_backend_vectorized(self, capsys):
+        code, out = run_cli(capsys, "ir", "Plonsey")
+        assert code == 0
+        assert "vector<8xf64>" in out
+
+    def test_width_selects_lanes(self, capsys):
+        _, out = run_cli(capsys, "ir", "Plonsey", "--width", "2")
+        assert "vector<2xf64>" in out
+
+    def test_baseline_scalar(self, capsys):
+        _, out = run_cli(capsys, "ir", "Plonsey", "--backend", "baseline")
+        assert "vector<" not in out
+
+    def test_pretty_mode(self, capsys):
+        _, out = run_cli(capsys, "ir", "Plonsey", "--pretty")
+        assert "scf.for %i" in out
+
+    def test_no_opt_keeps_redundancy(self, capsys):
+        _, optimized = run_cli(capsys, "ir", "HodgkinHuxley")
+        _, raw = run_cli(capsys, "ir", "HodgkinHuxley", "--no-opt")
+        assert len(raw.splitlines()) > len(optimized.splitlines())
+
+
+class TestRunAndCompare:
+    def test_run_reports_timing(self, capsys):
+        code, out = run_cli(capsys, "run", "Plonsey", "--cells", "64",
+                            "--steps", "20")
+        assert code == 0
+        assert "ns/cell-step" in out
+
+    def test_compare_checks_equivalence(self, capsys):
+        code, out = run_cli(capsys, "compare", "HodgkinHuxley",
+                            "--cells", "64", "--steps", "30")
+        assert code == 0
+        assert "trajectories equivalent: True" in out
+        assert "speedup" in out
+
+
+class TestFigures:
+    def test_fig5_table(self, capsys):
+        code, out = run_cli(capsys, "figure", "fig5")
+        assert code == 0
+        assert "sse" in out and "avx512" in out
+        assert "paper: 2.90x" in out
+
+    def test_fig6_table(self, capsys):
+        code, out = run_cli(capsys, "figure", "fig6")
+        assert code == 0
+        assert "GrandiPanditVoigt" in out
+        assert "760 GFlops/s" in out

@@ -1,0 +1,278 @@
+"""Tests for the Figure-1 external-format translators."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import generate_baseline, generate_limpet_mlir
+from repro.convert import (CellMLError, MMTError, SBMLError,
+                           cellml_to_easyml, mmt_to_easyml, parse_cellml,
+                           parse_mmt, parse_sbml, sbml_to_easyml)
+from repro.frontend import load_model
+from repro.runtime import KernelRunner, compare_trajectories
+
+CELLML_FHN = """<?xml version="1.0"?>
+<model xmlns="http://www.cellml.org/cellml/1.0#" name="fhn_1961">
+ <component name="membrane">
+  <variable name="V" initial_value="-1.2"/>
+  <variable name="w" initial_value="-0.6"/>
+  <variable name="a" initial_value="0.7"/>
+  <variable name="b" initial_value="0.8"/>
+  <variable name="eps" initial_value="0.08"/>
+  <variable name="time"/>
+  <math xmlns="http://www.w3.org/1998/Math/MathML">
+   <apply><eq/>
+    <apply><diff/><bvar><ci>time</ci></bvar><ci>V</ci></apply>
+    <apply><minus/>
+     <apply><minus/><ci>V</ci>
+      <apply><divide/>
+       <apply><power/><ci>V</ci><cn>3</cn></apply><cn>3</cn></apply>
+     </apply>
+     <ci>w</ci>
+    </apply>
+   </apply>
+   <apply><eq/>
+    <apply><diff/><bvar><ci>time</ci></bvar><ci>w</ci></apply>
+    <apply><times/><ci>eps</ci>
+     <apply><minus/>
+      <apply><plus/><ci>V</ci><ci>a</ci></apply>
+      <apply><times/><ci>b</ci><ci>w</ci></apply>
+     </apply>
+    </apply>
+   </apply>
+  </math>
+ </component>
+</model>"""
+
+CELLML_PIECEWISE = """<?xml version="1.0"?>
+<model xmlns="http://www.cellml.org/cellml/1.0#" name="pw">
+ <component name="c">
+  <variable name="V" initial_value="-80"/>
+  <variable name="g" initial_value="2.0"/>
+  <variable name="x" initial_value="0.1"/>
+  <variable name="time"/>
+  <math xmlns="http://www.w3.org/1998/Math/MathML">
+   <apply><eq/><ci>rate</ci>
+    <piecewise>
+     <piece><cn>1.5</cn>
+      <apply><lt/><ci>V</ci><cn>-40</cn></apply></piece>
+     <otherwise><apply><exp/>
+      <apply><divide/><ci>V</ci><cn>25</cn></apply></apply></otherwise>
+    </piecewise>
+   </apply>
+   <apply><eq/>
+    <apply><diff/><bvar><ci>time</ci></bvar><ci>x</ci></apply>
+    <apply><times/><ci>rate</ci>
+     <apply><minus/><cn>1</cn><ci>x</ci></apply></apply>
+   </apply>
+   <apply><eq/>
+    <apply><diff/><bvar><ci>time</ci></bvar><ci>V</ci></apply>
+    <apply><times/>
+     <apply><minus/><ci>g</ci></apply><ci>x</ci></apply>
+   </apply>
+  </math>
+ </component>
+</model>"""
+
+MMT_SOURCE = """
+[[model]]
+# initial conditions
+membrane.V = -84.0
+ina.m = 0.002
+ina.h = 0.98
+
+[membrane]
+C = 1.0
+dot(V) = -(i_ion)
+i_ion = ina.INa + 0.14 * (V + 85.0)
+
+[ina]
+use membrane.V as V
+GNa = 4.0
+ENa = 50.0
+alpha = 0.9 * exp(-(V + 42.65) / 18.0)
+beta = 1.4 * exp((V + 39.75) / 25.0)
+dot(m) = alpha * (1 - m) - beta * m
+dot(h) = if(V < -60.0, 0.1, 0.01) * (0.95 - h)
+INa = GNa * m^3 * h * (V - ENa)
+"""
+
+SBML_SOURCE = """<?xml version="1.0"?>
+<sbml xmlns="http://www.sbml.org/sbml/level2" level="2" version="4">
+ <model id="toy_membrane">
+  <listOfParameters>
+   <parameter id="V" value="-80.0"/>
+   <parameter id="g_leak" value="0.15"/>
+   <parameter id="E_leak" value="-80.0"/>
+   <parameter id="Iion" value="0"/>
+   <parameter id="w" value="0.0"/>
+  </listOfParameters>
+  <listOfRules>
+   <assignmentRule variable="Iion">
+    <math xmlns="http://www.w3.org/1998/Math/MathML">
+     <apply><plus/>
+      <apply><times/><ci>g_leak</ci>
+       <apply><minus/><ci>V</ci><ci>E_leak</ci></apply></apply>
+      <apply><times/><cn>0.01</cn><ci>w</ci></apply>
+     </apply>
+    </math>
+   </assignmentRule>
+   <rateRule variable="w">
+    <math xmlns="http://www.w3.org/1998/Math/MathML">
+     <apply><minus/>
+      <apply><times/><cn>0.003</cn>
+       <apply><plus/><ci>V</ci><cn>80.0</cn></apply></apply>
+      <apply><times/><cn>0.02</cn><ci>w</ci></apply>
+     </apply>
+    </math>
+   </rateRule>
+  </listOfRules>
+ </model>
+</sbml>"""
+
+
+class TestCellML:
+    def test_parse_structure(self):
+        model = parse_cellml(CELLML_FHN)
+        assert model.name == "fhn_1961"
+        assert {"V", "w", "a", "b", "eps"} <= set(model.variables)
+        assert len(model.odes) == 2
+
+    def test_converted_model_analyzes(self):
+        source = cellml_to_easyml(CELLML_FHN, lookup_vm=False)
+        model = load_model(source, "FHN_CellML")
+        assert model.states == ["w"]
+        assert model.params == {"a": 0.7, "b": 0.8, "eps": 0.08}
+        assert model.external_init["Vm"] == -1.2
+
+    def test_voltage_ode_becomes_current(self):
+        source = cellml_to_easyml(CELLML_FHN, lookup_vm=False)
+        assert "Iion = -(" in source
+        assert "diff_V" not in source
+
+    def test_converted_model_runs_and_matches_native(self):
+        """The CellML FitzHugh-Nagumo must track the suite's native
+        FitzHughNagumo model (same equations, same trajectory)."""
+        from repro.models import load_model as load_native
+        source = cellml_to_easyml(CELLML_FHN, lookup_vm=False)
+        converted = load_model(source, "FHN_CellML")
+        native = load_native("FitzHughNagumo")
+        kc = KernelRunner(generate_limpet_mlir(converted, 8))
+        kn = KernelRunner(generate_limpet_mlir(native, 8))
+        rc = kc.simulate(8, 400, 0.05)
+        rn = kn.simulate(8, 400, 0.05)
+        np.testing.assert_allclose(rc.state.external("Vm"),
+                                   rn.state.external("Vm"), rtol=5e-3,
+                                   atol=5e-3)
+
+    def test_piecewise_becomes_ternary(self):
+        source = cellml_to_easyml(CELLML_PIECEWISE, lookup_vm=False)
+        assert "?" in source and ":" in source
+        model = load_model(source, "PW")
+        runner = KernelRunner(generate_baseline(model))
+        result = runner.simulate(4, 50, 0.01)
+        assert np.isfinite(result.state.external("Vm")).all()
+
+    def test_scientific_notation_cn(self):
+        xml = CELLML_FHN.replace('<cn>3</cn>',
+                                 '<cn type="e-notation">3<sep/>0</cn>', 1)
+        source = cellml_to_easyml(xml, lookup_vm=False)
+        assert "3e0" in source
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(CellMLError, match="malformed"):
+            parse_cellml("<model>")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(CellMLError, match="expected <model>"):
+            parse_cellml("<sbml/>")
+
+    def test_non_time_derivative_rejected(self):
+        xml = CELLML_FHN.replace("<ci>time</ci>", "<ci>space</ci>")
+        with pytest.raises(CellMLError, match="time derivatives"):
+            parse_cellml(xml)
+
+
+class TestMMT:
+    def test_parse_flattens_names(self):
+        model = parse_mmt(MMT_SOURCE)
+        targets = [t for t, _, _ in model.assignments]
+        assert "ina_INa" in targets
+        assert model.voltage == "membrane_V"
+        assert model.current == "membrane_i_ion"
+        assert model.initials["ina_m"] == 0.002
+
+    def test_converted_model_analyzes_and_runs(self):
+        source = mmt_to_easyml(MMT_SOURCE, lookup_vm=False)
+        model = load_model(source, "MMT")
+        assert set(model.states) == {"ina_m", "ina_h"}
+        assert model.init_values["ina_m"] == 0.002
+        runner = KernelRunner(generate_limpet_mlir(model, 8))
+        result = runner.simulate(8, 300, 0.01)
+        vm = result.state.external("Vm")
+        assert np.isfinite(vm).all()
+
+    def test_power_operator_rewritten(self):
+        source = mmt_to_easyml(MMT_SOURCE, lookup_vm=False)
+        assert "^" not in source
+        assert "pow(ina_m, 3)" in source
+
+    def test_if_function_becomes_ternary(self):
+        source = mmt_to_easyml(MMT_SOURCE, lookup_vm=False)
+        assert "if(" not in source
+        assert "?" in source
+
+    def test_equivalence_between_backends(self):
+        source = mmt_to_easyml(MMT_SOURCE, lookup_vm=False)
+        model = load_model(source, "MMT")
+        base = KernelRunner(generate_baseline(model))
+        vec = KernelRunner(generate_limpet_mlir(model, 4))
+        r1 = base.simulate(6, 100, 0.01, perturbation=0.01)
+        r2 = vec.simulate(6, 100, 0.01, perturbation=0.01)
+        assert compare_trajectories(r1.state, r2.state)
+
+    def test_statement_outside_component_rejected(self):
+        with pytest.raises(MMTError, match="outside"):
+            parse_mmt("x = 1")
+
+    def test_unparsable_line_rejected(self):
+        with pytest.raises(MMTError):
+            parse_mmt("[c]\nx ~ y")
+
+    def test_model_without_current_rejected(self):
+        with pytest.raises(MMTError, match="i_ion"):
+            mmt_to_easyml("[[model]]\n[c]\nx = 1.0\n")
+
+
+class TestSBML:
+    def test_parse_structure(self):
+        model = parse_sbml(SBML_SOURCE)
+        assert model.name == "toy_membrane"
+        assert model.parameters["g_leak"] == 0.15
+        assert len(model.rates) == 1
+
+    def test_converted_model_analyzes_and_runs(self):
+        source = sbml_to_easyml(SBML_SOURCE, lookup_vm=False)
+        model = load_model(source, "SBML")
+        assert model.states == ["w"]
+        assert "Iion" in model.outputs
+        runner = KernelRunner(generate_limpet_mlir(model, 8))
+        result = runner.simulate(8, 200, 0.01)
+        assert np.isfinite(result.state.external("Vm")).all()
+
+    def test_vm_initial_from_parameter(self):
+        source = sbml_to_easyml(SBML_SOURCE, lookup_vm=False)
+        model = load_model(source, "SBML")
+        assert model.external_init["Vm"] == -80.0
+
+    def test_missing_model_rejected(self):
+        with pytest.raises(SBMLError, match="no <model>"):
+            parse_sbml('<sbml xmlns="http://www.sbml.org/sbml/level2"/>')
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(SBMLError, match="expected <sbml>"):
+            parse_sbml("<model/>")
+
+    def test_unsupported_rule_rejected(self):
+        bad = SBML_SOURCE.replace("rateRule", "algebraicRule")
+        with pytest.raises(SBMLError):
+            parse_sbml(bad)

@@ -1,0 +1,301 @@
+"""Frontend analysis tests: classification, ordering, gates, LUTs."""
+
+import pytest
+
+from repro.easyml import SemanticError, parse_model
+from repro.frontend import Method, VarKind, analyze, load_model
+from repro.frontend.preprocessor import Preprocessor
+
+
+class TestListing1(object):
+    """The paper's own example must analyze exactly as described."""
+
+    def test_externals(self, listing1_model):
+        assert listing1_model.externals == ["Vm", "Iion"]
+
+    def test_states_from_diff(self, listing1_model):
+        assert set(listing1_model.states) == {"u1", "u2", "u3"}
+
+    def test_params_resolved(self, listing1_model):
+        assert listing1_model.params == {"Cm": 200.0, "beta": 1.0,
+                                         "xi": 3.0}
+
+    def test_methods(self, listing1_model):
+        assert listing1_model.methods["u1"] is Method.RK2
+        assert listing1_model.methods["u2"] is Method.FE
+        assert listing1_model.methods["u3"] is Method.FE
+
+    def test_inits(self, listing1_model):
+        assert listing1_model.init_values == {"u1": 0.0, "u2": 0.0,
+                                              "u3": 0.0}
+        assert listing1_model.external_init["Vm"] == 0.0
+
+    def test_outputs(self, listing1_model):
+        assert listing1_model.outputs == ["Iion"]
+
+    def test_constant_diff_folded(self, listing1_model):
+        from repro.easyml.ast_nodes import Number
+        assert listing1_model.diffs["u3"] == Number(0.0)
+
+    def test_lookup_spec(self, listing1_model):
+        var = listing1_model.variables["Vm"]
+        assert var.lookup is not None
+        assert var.lookup.n_rows == 4001
+
+
+class TestClassification:
+    def test_intermediate_kind(self, gate_model):
+        assert gate_model.variables["Iion_raw"].kind is \
+            VarKind.INTERMEDIATE
+
+    def test_param_assignment_rejected(self):
+        with pytest.raises(SemanticError, match="cannot be assigned"):
+            load_model("a = 1; .param(); a = 2;")
+
+    def test_double_assignment_rejected(self):
+        with pytest.raises(SemanticError, match="SSA"):
+            load_model("x = 1*y; x = 2*y; y_init=0; diff_y = x;")
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(SemanticError, match="undefined"):
+            load_model("diff_x = ghost; x_init = 0;")
+
+    def test_cycle_rejected(self):
+        with pytest.raises(SemanticError, match="cyclic"):
+            load_model("a = b + 1; b = a + 1; diff_x = a; x_init = 0;")
+
+    def test_param_without_value_rejected(self):
+        with pytest.raises(SemanticError, match="no value"):
+            load_model("g; .param(); diff_x = g; x_init = 0;")
+
+    def test_external_with_diff_rejected(self):
+        with pytest.raises(SemanticError, match="solver"):
+            load_model("Vm; .external(); diff_Vm = 1;")
+
+    def test_nonconstant_init_rejected(self):
+        with pytest.raises(SemanticError, match="constant"):
+            load_model("diff_x = -x; x_init = x + 1;")
+
+    def test_param_dependent_init_allowed(self):
+        model = load_model("a = 2; .param(); diff_x = -x; x_init = a*3;")
+        assert model.init_values["x"] == 6.0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SemanticError, match="unknown integration"):
+            load_model("diff_x = -x; x_init = 0; x; .method(euler99);")
+
+    def test_unknown_markup_warns(self):
+        model = load_model("x; .sparkle(); diff_x = -x; x_init = 0;")
+        assert any("sparkle" in w for w in model.warnings)
+
+    def test_missing_init_defaults_with_warning(self):
+        model = load_model("diff_x = -x;")
+        assert model.init_values["x"] == 0.0
+        assert any("x_init" in w for w in model.warnings)
+
+
+class TestOrdering:
+    def test_out_of_order_definitions_sorted(self):
+        model = load_model("""
+            diff_x = b; x_init = 0;
+            b = a * 2;
+            a = x + 1;
+        """)
+        order = [c.target for c in model.computations]
+        assert order.index("a") < order.index("b")
+
+    def test_diff_value_readable_by_outputs(self):
+        model = load_model("""
+            Iion; .external();
+            diff_x = -0.1*x; x_init = 1;
+            Iion = diff_x * 2;
+        """)
+        targets = [c.target for c in model.computations]
+        assert "diff_x" in targets  # kept because Iion reads it
+
+    def test_unread_diff_not_in_plan(self, listing1_model):
+        targets = [c.target for c in listing1_model.computations]
+        assert "diff_u1" not in targets
+
+
+class TestPreprocessing:
+    def test_constant_intermediate_folded(self):
+        model = load_model("""
+            k = 2; .param();
+            halfk = k / 2;
+            diff_x = -halfk*x; x_init = 1;
+        """)
+        assert model.folded_constants["halfk"] == 1.0
+        assert all(c.target != "halfk" for c in model.computations)
+
+    def test_constant_propagates_through_chain(self):
+        model = load_model("""
+            a = 3; b = a * 2; c = b + a;
+            diff_x = -x*c; x_init = 1;
+        """)
+        assert model.folded_constants["c"] == 9.0
+
+    def test_constant_condition_selects_branch(self):
+        pre = Preprocessor({"k": 5.0})
+        from repro.easyml import parse_model as pm
+        expr = pm("y = k > 3 ? 10 : 20;").statements[0].expr
+        assert pre.eval(expr) == 10.0
+
+    def test_fold_keeps_runtime_parts(self):
+        pre = Preprocessor({"k": 2.0})
+        from repro.easyml import parse_model as pm
+        from repro.easyml.ast_nodes import Binary, Number
+        expr = pm("y = (k*3) + v;").statements[0].expr
+        folded = pre.fold(expr)
+        assert isinstance(folded, Binary)
+        assert folded.lhs == Number(6.0)
+
+    def test_math_functions_evaluate(self):
+        pre = Preprocessor()
+        from repro.easyml import parse_model as pm
+        expr = pm("y = square(3) + cube(2) + fabs(-1);").statements[0].expr
+        assert pre.eval(expr) == 18.0
+
+    def test_eval_raises_on_runtime_value(self):
+        pre = Preprocessor()
+        from repro.easyml import parse_model as pm
+        expr = pm("y = v + 1;").statements[0].expr
+        with pytest.raises(SemanticError):
+            pre.eval(expr)
+
+
+class TestGates:
+    def test_inf_tau_gate_detected(self, gate_model):
+        gate = gate_model.gates["m"]
+        assert gate.form == "inf_tau"
+        assert gate.inf == "m_inf" and gate.tau == "tau_m"
+
+    def test_alpha_beta_gate_detected(self, gate_model):
+        gate = gate_model.gates["h"]
+        assert gate.form == "alpha_beta"
+
+    def test_gates_default_to_rush_larsen(self, gate_model):
+        assert gate_model.methods["m"] is Method.RUSH_LARSEN
+        assert gate_model.methods["h"] is Method.RUSH_LARSEN
+
+    def test_explicit_method_wins_over_gate(self):
+        model = load_model("""
+            Vm; .external();
+            m_inf = 1/(1+exp(-Vm/7)); tau_m = 2;
+            diff_m = (m_inf - m)/tau_m; m_init = 0;
+            m; .method(fe);
+        """)
+        assert model.methods["m"] is Method.FE
+
+    def test_rush_larsen_without_gate_rejected(self):
+        with pytest.raises(SemanticError, match="rush_larsen"):
+            load_model("diff_x = -x; x_init = 0; x; .method(rush_larsen);")
+
+    def test_non_gate_defaults_to_fe(self, gate_model):
+        assert gate_model.methods["c"] is Method.RK2  # explicit
+        model = load_model("diff_x = -x; x_init = 0;")
+        assert model.methods["x"] is Method.FE
+
+
+class TestIfConversion:
+    def test_both_branch_assignment_becomes_ternary(self):
+        model = load_model("""
+            Vm; .external();
+            if (Vm > 0) { a = 1*Vm; } else { a = 2*Vm; }
+            diff_x = a - x; x_init = 0;
+        """)
+        from repro.easyml.ast_nodes import Ternary
+        comp = next(c for c in model.computations if c.target == "a")
+        assert isinstance(comp.expr, Ternary)
+
+    def test_branch_local_temporaries_run_speculatively(self):
+        model = load_model("""
+            Vm; .external();
+            if (Vm > 0) { t = Vm * 2; a = t + 1; } else { a = 0*Vm; }
+            diff_x = a - x; x_init = 0;
+        """)
+        targets = {c.target for c in model.computations}
+        assert "t" in targets and "a" in targets
+
+    def test_same_temp_in_both_branches_renamed(self):
+        model = load_model("""
+            Vm; .external();
+            if (Vm > 0) { t = Vm; a = t; } else { t = -Vm; a = t + 1; }
+            diff_x = a - x; x_init = 0;
+        """)
+        targets = {c.target for c in model.computations}
+        assert "t__then" in targets and "t__else" in targets
+
+    def test_double_assignment_within_branch_rejected(self):
+        with pytest.raises(SemanticError, match="single-assignment"):
+            load_model("""
+                Vm; .external();
+                if (Vm > 0) { a = 1; a = 2; } else { a = 3; }
+                diff_x = a*x; x_init = 0;
+            """)
+
+    def test_nested_if_converts(self):
+        model = load_model("""
+            Vm; .external();
+            if (Vm > 0) {
+              if (Vm > 20) { a = 1*Vm; } else { a = 2*Vm; }
+            } else { a = 3*Vm; }
+            diff_x = a - x; x_init = 0;
+        """)
+        assert any(c.target == "a" for c in model.computations)
+
+
+class TestLUTGrouping:
+    def test_costly_vm_expressions_tabulated(self, gate_model):
+        table = gate_model.lut_tables[0]
+        assert table.var == "Vm"
+        assert {"m_inf", "tau_m", "alpha_h", "beta_h"} <= \
+            set(table.column_names)
+
+    def test_state_dependent_not_tabulated(self, gate_model):
+        names = set(gate_model.lut_tables[0].column_names)
+        assert "Iion_raw" not in names
+
+    def test_cheap_expressions_not_tabulated(self):
+        model = load_model("""
+            Vm; .external(); .lookup(-100,100,0.1);
+            a = Vm * 2 + 1;
+            diff_x = a - x; x_init = 0;
+        """)
+        assert model.lut_tables == []
+
+    def test_rl_decay_columns_added(self, gate_model):
+        names = set(gate_model.lut_tables[0].column_names)
+        assert "_rl_decay_m" in names
+        assert "_rl_decay_h" in names and "_rl_inf_h" in names
+
+    def test_rl_decay_not_added_for_non_rl_gates(self):
+        model = load_model("""
+            Vm; .external(); .lookup(-100,100,0.1);
+            m_inf = 1/(1+exp(-Vm/7));
+            tau_m = 1 + exp(-Vm/20);
+            diff_m = (m_inf - m)/tau_m; m_init = 0;
+            m; .method(fe);
+        """)
+        names = set(model.lut_tables[0].column_names)
+        assert "_rl_decay_m" not in names
+
+    def test_computations_excluding_lut(self, gate_model):
+        lut_names = gate_model.lut_column_names
+        rest = gate_model.computations_excluding_lut()
+        assert all(c.target not in lut_names for c in rest)
+
+
+class TestStageComputations:
+    def test_state_dependent_chain_selected(self, gate_model):
+        stage = [c.target for c in gate_model.stage_computations("c")]
+        assert "Iion_raw" in stage  # depends on c, feeds diff_c
+
+    def test_voltage_only_columns_excluded(self, gate_model):
+        stage = [c.target for c in gate_model.stage_computations("m")]
+        assert "m_inf" not in stage and "tau_m" not in stage
+
+    def test_describe_mentions_everything(self, gate_model):
+        text = gate_model.describe()
+        assert "GateTest" in text
+        assert "rush_larsen" in text and "LUT on Vm" in text

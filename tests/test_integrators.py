@@ -1,0 +1,184 @@
+"""Integration-method tests: structure and numerical behaviour.
+
+The convergence tests solve ODEs with known closed forms through the
+*full pipeline* (EasyML -> frontend -> codegen -> lowering -> run), so
+they validate the emitted update formulas, not a reference Python
+implementation.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.codegen import generate_baseline, generate_limpet_mlir
+from repro.frontend import Method, load_model
+from repro.runtime import KernelRunner
+
+
+def run_decay(method, dt, n_steps, rate=0.7, x0=1.0, width=1):
+    """Integrate dx/dt = -rate*x from x0; return x(T) from the kernel."""
+    source = f"""
+        diff_x = -{rate}*x;
+        x_init = {x0};
+        x; .method({method});
+    """
+    model = load_model(source, f"Decay_{method}")
+    kernel = generate_baseline(model) if width == 1 else \
+        generate_limpet_mlir(model, width)
+    runner = KernelRunner(kernel)
+    state = runner.make_state(1)
+    runner.run(state, n_steps, dt)
+    return state.state_of("x")[0]
+
+
+def error_at(method, dt, rate=0.7, horizon=2.0):
+    steps = int(round(horizon / dt))
+    exact = math.exp(-rate * horizon)
+    return abs(run_decay(method, dt, steps) - exact)
+
+
+class TestConvergenceOrders:
+    """Halving dt must cut the error by ~2^order."""
+
+    @pytest.mark.parametrize("method,order", [
+        ("fe", 1), ("rk2", 2), ("rk4", 4)])
+    def test_explicit_method_order(self, method, order):
+        err_coarse = error_at(method, 0.1)
+        err_fine = error_at(method, 0.05)
+        ratio = err_coarse / err_fine
+        assert 2 ** order * 0.6 < ratio < 2 ** order * 1.7, \
+            f"{method}: ratio {ratio}"
+
+    def test_rk4_much_more_accurate_than_fe(self):
+        assert error_at("rk4", 0.1) < error_at("fe", 0.1) / 100
+
+    def test_markov_be_first_order(self):
+        # values must stay in [0,1]: decay from 1 qualifies
+        err_coarse = error_at("markov_be", 0.1)
+        err_fine = error_at("markov_be", 0.05)
+        assert 1.4 < err_coarse / err_fine < 2.8
+
+    def test_markov_be_is_implicit_damped(self):
+        """Backward Euler decays *slower* than the exact solution:
+        x/(1+r*dt) > x*exp(-r*dt), the signature of the implicit step
+        (forward Euler errs the other way)."""
+        exact = math.exp(-0.7 * 2.0)
+        be_value = run_decay("markov_be", 0.1, 20)
+        fe_value = run_decay("fe", 0.1, 20)
+        assert be_value > exact > fe_value
+
+
+class TestRushLarsen:
+    def _gate_value(self, method, dt, n_steps):
+        source = f"""
+            Vm; .external();
+            m_inf = 0.8 + 0.0*Vm;
+            tau_m = 2.0 + 0.0*Vm;
+            diff_m = (m_inf - m)/tau_m;
+            m_init = 0.1;
+            m; .method({method});
+        """
+        model = load_model(source, "RLGate")
+        runner = KernelRunner(generate_baseline(model))
+        state = runner.make_state(1)
+        runner.run(state, n_steps, dt)
+        return state.state_of("m")[0]
+
+    def test_rush_larsen_exact_for_constant_rates(self):
+        """RL integrates the linear gate ODE exactly at ANY dt."""
+        value = self._gate_value("rush_larsen", 0.5, 10)
+        exact = 0.8 + (0.1 - 0.8) * math.exp(-5.0 / 2.0)
+        assert abs(value - exact) < 1e-12
+
+    def test_sundnes_matches_rl_for_state_independent_rates(self):
+        rl = self._gate_value("rush_larsen", 0.25, 8)
+        srl = self._gate_value("sundnes", 0.25, 8)
+        assert abs(rl - srl) < 1e-12
+
+    def test_rush_larsen_unconditionally_stable(self):
+        """Huge dt/tau must not blow up (fe would)."""
+        value = self._gate_value("rush_larsen", 50.0, 5)
+        assert 0.0 <= value <= 1.0
+
+    def test_fe_unstable_where_rl_is_stable(self):
+        source = """
+            m_inf = 0.8; tau_m = 2.0;
+            diff_m = (0.8 - m)/2.0;
+            m_init = 0.1;
+            m; .method(fe);
+        """
+        model = load_model(source, "FEGate")
+        runner = KernelRunner(generate_baseline(model))
+        state = runner.make_state(1)
+        runner.run(state, 20, 50.0)   # dt/tau = 25 >> 2
+        assert abs(state.state_of("m")[0]) > 1.0  # oscillating divergence
+
+    def test_alpha_beta_form_equivalent_to_inf_tau(self):
+        """alpha/beta gates follow the same trajectory when
+        alpha = inf/tau, beta = (1-inf)/tau."""
+        inf, tau = 0.8, 2.0
+        alpha, beta = inf / tau, (1 - inf) / tau
+        src_ab = f"""
+            alpha_m = {alpha} + 0.0*m0; beta_m = {beta} + 0.0*m0;
+            diff_m = alpha_m*(1-m) - beta_m*m;
+            m_init = 0.1;
+            diff_m0 = 0.0; m0_init = 0.0;
+        """
+        model = load_model(src_ab, "ABGate")
+        assert model.methods["m"] is Method.RUSH_LARSEN
+        runner = KernelRunner(generate_baseline(model))
+        state = runner.make_state(1)
+        runner.run(state, 10, 0.5)
+        exact = inf + (0.1 - inf) * math.exp(-5.0 / tau)
+        assert abs(state.state_of("m")[0] - exact) < 1e-12
+
+
+class TestMarkovBE:
+    def test_clamps_to_unit_interval(self):
+        source = """
+            diff_p = 5.0*(1.5 - p);
+            p_init = 0.9;
+            p; .method(markov_be);
+        """
+        model = load_model(source, "Clamp")
+        runner = KernelRunner(generate_baseline(model))
+        state = runner.make_state(1)
+        runner.run(state, 50, 0.1)
+        assert state.state_of("p")[0] <= 1.0
+
+    def test_refinement_loop_emitted(self, gate_model):
+        source = """
+            diff_p = 0.5*(0.3 - p);
+            p_init = 0.0;
+            p; .method(markov_be);
+        """
+        model = load_model(source, "BE")
+        kernel = generate_baseline(model)
+        inner_loops = [op for op in kernel.module.walk()
+                       if op.name == "scf.for"
+                       and not op.attributes.get("cell_loop")]
+        assert len(inner_loops) == 1
+        assert len(inner_loops[0].operands) == 4  # lb, ub, step, iter arg
+
+
+class TestStageReemission:
+    def test_rk2_reemits_state_dependent_chain(self, gate_model):
+        """rk2 for 'c' must re-evaluate Iion_raw at the midpoint, like
+        Listing 2 lines 20-26 re-evaluate diff_u1."""
+        kernel = generate_baseline(gate_model, use_lut=False)
+        fn = kernel.module.lookup_func(kernel.spec.function_name)
+        # Iion_raw involves cube(m)*h*(Vm-50)*c -> 4 mulfs; emitted twice
+        mulf_count = sum(1 for op in fn.walk()
+                         if op.name == "arith.mulf")
+        base_model = load_model("""
+            Vm; .external();
+            diff_c = 0.01*(0.5 - c); c_init = 0.4;
+        """, "NoStage")
+        assert mulf_count > 8
+
+    def test_vector_and_scalar_rk_agree(self):
+        for method in ("fe", "rk2", "rk4"):
+            scalar = run_decay(method, 0.1, 10, width=1)
+            vector = run_decay(method, 0.1, 10, width=8)
+            assert scalar == pytest.approx(vector, rel=1e-14), method

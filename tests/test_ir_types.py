@@ -1,0 +1,144 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir.types import (FloatType, FunctionType, IntegerType, MemRefType,
+                            VectorType, broadcast_type, element_type, f32,
+                            f64, i1, i32, i64, index, memref_of, parse_type,
+                            vector_of, vector_width)
+
+
+class TestScalarTypes:
+    def test_float_str(self):
+        assert str(f64) == "f64"
+        assert str(f32) == "f32"
+
+    def test_integer_str(self):
+        assert str(i1) == "i1"
+        assert str(i32) == "i32"
+        assert str(i64) == "i64"
+
+    def test_index_str(self):
+        assert str(index) == "index"
+
+    def test_float_predicates(self):
+        assert f64.is_float
+        assert not f64.is_integer
+        assert not f64.is_vector
+
+    def test_integer_predicates(self):
+        assert i32.is_integer
+        assert not i32.is_float
+
+    def test_index_is_integer_like(self):
+        assert index.is_integer
+
+    def test_bad_float_width_rejected(self):
+        with pytest.raises(ValueError):
+            FloatType(17)
+
+    def test_bad_integer_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntegerType(3)
+
+    def test_equality_by_value(self):
+        assert FloatType(64) == f64
+        assert IntegerType(32) == i32
+        assert FloatType(32) != f64
+
+
+class TestVectorTypes:
+    def test_str(self):
+        assert str(vector_of(8)) == "vector<8xf64>"
+        assert str(vector_of(4, i1)) == "vector<4xi1>"
+
+    def test_predicates(self):
+        vec = vector_of(8)
+        assert vec.is_vector
+        assert vec.is_float
+
+    def test_integer_vector(self):
+        vec = vector_of(4, index)
+        assert vec.is_integer
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            VectorType(0, f64)
+
+    def test_nested_vector_rejected(self):
+        with pytest.raises(ValueError):
+            VectorType(4, vector_of(2))
+
+    def test_vector_of_memref_rejected(self):
+        with pytest.raises(ValueError):
+            VectorType(4, memref_of(f64))
+
+
+class TestMemRefTypes:
+    def test_dynamic_dim_str(self):
+        assert str(memref_of(f64)) == "memref<?xf64>"
+
+    def test_static_shape_str(self):
+        assert str(memref_of(f64, 4, 8)) == "memref<4x8xf64>"
+
+    def test_mixed_shape_str(self):
+        assert str(memref_of(f64, None, 3)) == "memref<?x3xf64>"
+
+    def test_rank(self):
+        assert memref_of(f64).rank == 1
+        assert memref_of(f64, None, None).rank == 2
+
+
+class TestFunctionType:
+    def test_single_result_str(self):
+        ft = FunctionType((f64, f64), (f64,))
+        assert str(ft) == "(f64, f64) -> f64"
+
+    def test_multi_result_str(self):
+        ft = FunctionType((f64,), (f64, f64))
+        assert str(ft) == "(f64) -> (f64, f64)"
+
+    def test_no_result_str(self):
+        ft = FunctionType((index,), ())
+        assert str(ft) == "(index) -> ()"
+
+
+class TestHelpers:
+    def test_element_type_scalar_identity(self):
+        assert element_type(f64) is f64
+
+    def test_element_type_vector(self):
+        assert element_type(vector_of(8)) == f64
+
+    def test_element_type_memref(self):
+        assert element_type(memref_of(i32)) == i32
+
+    def test_vector_width(self):
+        assert vector_width(f64) == 1
+        assert vector_width(vector_of(8)) == 8
+
+    def test_broadcast_type_width_one_is_identity(self):
+        assert broadcast_type(f64, 1) is f64
+
+    def test_broadcast_type_widens(self):
+        assert broadcast_type(f64, 4) == vector_of(4)
+
+    def test_broadcast_type_of_vector_rebroadcasts_element(self):
+        assert broadcast_type(vector_of(2), 4) == vector_of(4)
+
+
+class TestParseType:
+    @pytest.mark.parametrize("ty", [f64, f32, i1, i32, i64, index,
+                                    vector_of(8), vector_of(2, i1),
+                                    memref_of(f64), memref_of(f64, None,
+                                                              None),
+                                    memref_of(i32, 16)])
+    def test_round_trip(self, ty):
+        assert parse_type(str(ty)) == ty
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_type("f65")
+
+    def test_whitespace_tolerated(self):
+        assert parse_type("  f64 ") is f64

@@ -1,0 +1,161 @@
+"""Verifier tests: each structural invariant has a failing case."""
+
+import pytest
+
+from repro.ir import IRBuilder, build_module, verify_module
+from repro.ir.core import Block, Operation, Region
+from repro.ir.dialects import arith, func, scf
+from repro.ir.types import FunctionType, f64, i1, index
+from repro.ir.verifier import VerificationError, verify_op_isolated
+
+
+def empty_func(module, name="f", inputs=(), results=()):
+    return func.func(module, name, list(inputs), list(results))
+
+
+class TestModuleVerification:
+    def test_valid_module_passes(self):
+        module, _ = build_module()
+        fn = empty_func(module)
+        IRBuilder(fn.entry).create("func.return", [], [])
+        verify_module(module)
+
+    def test_unregistered_op_rejected(self):
+        module, _ = build_module()
+        fn = empty_func(module)
+        b = IRBuilder(fn.entry)
+        b.create("made.up", [], [])
+        b.create("func.return", [], [])
+        with pytest.raises(VerificationError, match="unregistered"):
+            verify_module(module)
+
+    def test_unregistered_op_allowed_with_flag(self):
+        module, _ = build_module()
+        fn = empty_func(module)
+        b = IRBuilder(fn.entry)
+        b.create("made.up", [], [])
+        b.create("func.return", [], [])
+        verify_module(module, allow_unregistered=True)
+
+    def test_use_before_def_rejected(self):
+        module, _ = build_module()
+        fn = empty_func(module)
+        block = fn.entry
+        b = IRBuilder(block)
+        late = Operation("arith.constant", [], [f64], {"value": 1.0})
+        use = Operation("arith.negf", [late.result], [f64])
+        block.append(use)
+        block.append(late)
+        b.create("func.return", [], [])
+        with pytest.raises(VerificationError, match="define-before-use"):
+            verify_module(module)
+
+    def test_value_from_sibling_region_rejected(self):
+        module, _ = build_module()
+        fn = empty_func(module)
+        b = IRBuilder(fn.entry)
+        cond = b.constant(True, i1)
+        branch = scf.if_op(b, cond, [])
+        with b.at_end_of(branch.then_block):
+            leaked = b.constant(1.0, f64)
+            scf.yield_op(b)
+        with b.at_end_of(branch.else_block):
+            b.create("arith.negf", [leaked], [f64])
+            scf.yield_op(b)
+        b.create("func.return", [], [])
+        with pytest.raises(VerificationError):
+            verify_module(module)
+
+    def test_terminator_must_be_last(self):
+        module, _ = build_module()
+        fn = empty_func(module)
+        b = IRBuilder(fn.entry)
+        b.create("func.return", [], [])
+        b.constant(1.0, f64)
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_module(module)
+
+
+class TestPerOpVerifiers:
+    def test_addf_type_mismatch(self):
+        block = Block([f64, index])
+        op = Operation("arith.addf", list(block.args), [f64])
+        with pytest.raises(Exception, match="mismatched"):
+            verify_op_isolated(op)
+
+    def test_addf_rejects_integers(self):
+        block = Block([index, index])
+        op = Operation("arith.addf", list(block.args), [index])
+        with pytest.raises(Exception, match="float"):
+            verify_op_isolated(op)
+
+    def test_cmpf_bad_predicate(self):
+        block = Block([f64, f64])
+        op = Operation("arith.cmpf", list(block.args), [i1],
+                       {"predicate": "bogus"})
+        with pytest.raises(Exception, match="predicate"):
+            verify_op_isolated(op)
+
+    def test_scf_for_requires_yield_arity(self):
+        body = Block([index, f64])
+        body.append(Operation("scf.yield", [], []))
+        bounds = Block([index, index, index, f64])
+        op = Operation("scf.for", list(bounds.args), [f64],
+                       regions=[Region([body])])
+        with pytest.raises(Exception, match="arity"):
+            verify_op_isolated(op)
+
+    def test_scf_for_body_arg_count(self):
+        body = Block([index, f64, f64])   # one extra arg
+        body.append(Operation("scf.yield", [], []))
+        bounds = Block([index, index, index])
+        op = Operation("scf.for", list(bounds.args), [],
+                       regions=[Region([body])])
+        with pytest.raises(Exception, match="induction"):
+            verify_op_isolated(op)
+
+    def test_func_return_type_checked(self):
+        module, _ = build_module()
+        fn = func.func(module, "f", [f64], [f64])
+        b = IRBuilder(fn.entry)
+        b.create("func.return", [], [])  # returns nothing, f64 expected
+        with pytest.raises(VerificationError, match="signature"):
+            verify_module(module)
+
+    def test_func_entry_args_must_match_signature(self):
+        bad = Operation("func.func", [], [], {
+            "sym_name": "f",
+            "function_type": FunctionType((f64,), ())},
+            [Region([Block()])])   # entry block has no args
+        with pytest.raises(Exception, match="entry block args"):
+            verify_op_isolated(bad)
+
+    def test_memref_load_index_count(self):
+        from repro.ir.types import memref_of
+        block = Block([memref_of(f64, None, None), index])
+        op = Operation("memref.load", [block.args[0], block.args[1]], [f64])
+        with pytest.raises(Exception, match="indices"):
+            verify_op_isolated(op)
+
+    def test_vector_gather_width_mismatch(self):
+        from repro.ir.types import memref_of, vector_of
+        block = Block([memref_of(f64), vector_of(4, index)])
+        op = Operation("vector.gather", list(block.args), [vector_of(8)])
+        with pytest.raises(Exception, match="width"):
+            verify_op_isolated(op)
+
+    def test_vector_extract_position_bounds(self):
+        from repro.ir.types import vector_of
+        block = Block([vector_of(4)])
+        op = Operation("vector.extract", [block.args[0]], [f64],
+                       {"position": 4})
+        with pytest.raises(Exception, match="position"):
+            verify_op_isolated(op)
+
+    def test_lookup_spec_validation(self):
+        from repro.frontend.symbols import LookupSpec
+        with pytest.raises(ValueError):
+            LookupSpec(0.0, 1.0, -0.1)
+        with pytest.raises(ValueError):
+            LookupSpec(1.0, 1.0, 0.1)
+        assert LookupSpec(-100.0, 100.0, 0.05).n_rows == 4001

@@ -1,0 +1,150 @@
+"""Lookup-table tests: tabulation, interpolation, RL columns (§3.4.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.frontend import load_model
+from repro.runtime.lut_runtime import (LUTData, build_all_luts, build_lut,
+                                       lut_interp_row, lut_interp_row_vec)
+
+LUT_MODEL = """
+Vm; .external(); .lookup(-10,10,0.5);
+a = exp(Vm/10);
+b = 1/(1+exp(-Vm/5));
+diff_x = a*b - x; x_init = 0;
+x; .method(fe);
+"""
+
+
+@pytest.fixture
+def lut():
+    model = load_model(LUT_MODEL, "LUT")
+    return build_all_luts(model, dt=0.01)[0]
+
+
+class TestBuild:
+    def test_shape(self, lut):
+        assert lut.n_rows == 41
+        assert lut.n_cols == 2
+        assert lut.column_names == ["a", "b"]
+
+    def test_grid_endpoints(self, lut):
+        assert lut.lo == -10.0
+        assert lut.hi == 10.0
+
+    def test_exact_at_grid_points(self, lut):
+        row = lut_interp_row(lut, 0.0)
+        assert row[0] == pytest.approx(1.0, abs=1e-15)
+        assert row[1] == pytest.approx(0.5, abs=1e-15)
+
+    def test_columns_can_reference_earlier_columns(self):
+        model = load_model("""
+            Vm; .external(); .lookup(0,1,0.25);
+            a = exp(Vm);
+            c = a / (1 + a);
+            diff_x = c - x; x_init = 0;
+        """, "Chain")
+        table = build_all_luts(model)[0]
+        assert table.column_names == ["a", "c"]
+        row = lut_interp_row(table, 0.0)
+        assert row[1] == pytest.approx(1 / 2, abs=1e-12)
+
+    def test_memory_bytes(self, lut):
+        assert lut.memory_bytes() == 41 * 2 * 8
+
+
+class TestScalarInterp:
+    def test_interpolation_error_bound(self, lut):
+        """Linear interpolation error <= h^2/8 * max|f''| on exp."""
+        h = 0.5
+        bound = h ** 2 / 8 * math.exp(1.0) / 100  # f'' of exp(v/10)
+        for v in np.linspace(-9.9, 9.9, 57):
+            approx = lut_interp_row(lut, float(v))[0]
+            assert abs(approx - math.exp(v / 10)) <= bound * 1.01
+
+    def test_clamps_below(self, lut):
+        assert lut_interp_row(lut, -999.0) == lut_interp_row(lut, -10.0)
+
+    def test_clamps_above(self, lut):
+        assert lut_interp_row(lut, 999.0) == lut_interp_row(lut, 10.0)
+
+    def test_nan_key_gives_nan_row(self, lut):
+        row = lut_interp_row(lut, float("nan"))
+        assert all(math.isnan(v) for v in row)
+
+    def test_midpoint_is_average(self, lut):
+        exact_mid = (lut.rows[0, 0] + lut.rows[1, 0]) / 2
+        assert lut_interp_row(lut, -9.75)[0] == pytest.approx(exact_mid)
+
+
+class TestVectorInterp:
+    def test_matches_scalar_exactly(self, lut):
+        keys = np.linspace(-12, 12, 101)
+        vec_rows = lut_interp_row_vec(lut, keys)
+        for i, key in enumerate(keys):
+            scalar = lut_interp_row(lut, float(key))
+            for c in range(lut.n_cols):
+                assert vec_rows[c][i] == scalar[c], (key, c)
+
+    def test_handles_2d_lanes(self, lut):
+        keys = np.zeros((3, 8))
+        rows = lut_interp_row_vec(lut, keys)
+        assert rows[0].shape == (3, 8)
+
+    def test_nan_lanes_propagate(self, lut):
+        keys = np.array([0.0, np.nan, 5.0])
+        rows = lut_interp_row_vec(lut, keys)
+        assert np.isnan(rows[0][1]) and np.isfinite(rows[0][[0, 2]]).all()
+
+
+class TestRLDecayColumns:
+    def test_decay_column_value(self):
+        model = load_model("""
+            Vm; .external(); .lookup(-10,10,0.5);
+            m_inf = 1/(1+exp(-Vm/5));
+            tau_m = 2 + exp(-Vm/10);
+            diff_m = (m_inf - m)/tau_m; m_init = 0;
+        """, "RL")
+        dt = 0.02
+        table = build_all_luts(model, dt=dt)[0]
+        idx = table.column_names.index("_rl_decay_m")
+        # at Vm = 0 exactly (grid point): tau = 3
+        row = lut_interp_row(table, 0.0)
+        assert row[idx] == pytest.approx(math.exp(-dt / 3.0), abs=1e-14)
+
+    def test_tables_depend_on_dt(self):
+        model = load_model("""
+            Vm; .external(); .lookup(-10,10,0.5);
+            m_inf = 1/(1+exp(-Vm/5));
+            tau_m = 2 + exp(-Vm/10);
+            diff_m = (m_inf - m)/tau_m; m_init = 0;
+        """, "RL")
+        t1 = build_all_luts(model, dt=0.01)[0]
+        t2 = build_all_luts(model, dt=0.05)[0]
+        idx = t1.column_names.index("_rl_decay_m")
+        assert not np.allclose(t1.rows[:, idx], t2.rows[:, idx])
+
+    def test_runner_rebuilds_luts_on_dt_change(self, gate_model):
+        from repro.codegen import generate_limpet_mlir
+        from repro.runtime import KernelRunner
+        runner = KernelRunner(generate_limpet_mlir(gate_model, 8))
+        first = runner.luts_for(0.01)
+        second = runner.luts_for(0.02)
+        assert first is not second
+        assert runner.luts_for(0.01) is first  # cached
+
+
+class TestLUTAccuracyEndToEnd:
+    def test_lut_vs_exact_trajectory_close(self, gate_model):
+        """Interpolated kinetics track the exact ones tightly."""
+        from repro.codegen import generate_limpet_mlir
+        from repro.runtime import KernelRunner
+        lut = KernelRunner(generate_limpet_mlir(gate_model, 8))
+        exact = KernelRunner(generate_limpet_mlir(gate_model, 8,
+                                                  use_lut=False))
+        r1 = lut.simulate(16, 500, 0.01, perturbation=0.01)
+        r2 = exact.simulate(16, 500, 0.01, perturbation=0.01)
+        m1, m2 = r1.state.state_of("m"), r2.state.state_of("m")
+        np.testing.assert_allclose(m1, m2, rtol=1e-4, atol=1e-7)

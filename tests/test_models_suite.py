@@ -1,0 +1,154 @@
+"""Integration tests over the full 43-model suite.
+
+These are the repository's core guarantees: every registered model
+parses, analyzes, generates code on every backend, and — crucially —
+the scalar baseline and the vectorized limpetMLIR kernels compute
+*identical trajectories* (the compiler-correctness property the paper's
+artifact checks by comparing simulation outputs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import BenchConfig
+from repro.codegen import (generate_baseline, generate_icc_simd,
+                           generate_limpet_mlir)
+from repro.ir import verify_module
+from repro.models import (ALL_MODELS, HAND_WRITTEN, LARGE_MODELS,
+                          MEDIUM_MODELS, SIZE_CLASS, SMALL_MODELS,
+                          list_models, load_model, model_entry,
+                          verify_registry)
+from repro.runtime import KernelRunner, compare_trajectories
+
+
+class TestRegistry:
+    def test_split_is_8_22_13(self):
+        verify_registry()
+        assert len(SMALL_MODELS) == 8
+        assert len(MEDIUM_MODELS) == 22
+        assert len(LARGE_MODELS) == 13
+
+    def test_all_files_exist(self):
+        for entry in list_models():
+            assert entry.path.exists(), entry.name
+
+    def test_size_class_filter(self):
+        assert len(list_models("large")) == 13
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            model_entry("NotAModel")
+
+    def test_load_is_cached(self):
+        assert load_model("HodgkinHuxley") is load_model("HodgkinHuxley")
+
+    def test_paper_named_models_present(self):
+        for name in ("Pathmanathan", "ISAC_Hu", "Stress_Niederer",
+                     "StressLumens", "GrandiPanditVoigt", "OHara",
+                     "WangSobie", "Courtemanche", "Maleckar",
+                     "HodgkinHuxley", "DrouhardRoberge", "IKChCheng",
+                     "Plonsey"):
+            assert name in ALL_MODELS, name
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+class TestEveryModel:
+    def test_analyzes(self, name):
+        model = load_model(name)
+        assert model.states, name
+        assert "Iion" in model.outputs
+
+    def test_kernels_verify(self, name):
+        model = load_model(name)
+        for kernel in (generate_baseline(model),
+                       generate_limpet_mlir(model, 8),
+                       generate_icc_simd(model, 4)):
+            verify_module(kernel.module)
+
+    def test_baseline_vs_limpet_mlir_equivalence(self, name):
+        """The headline correctness property, per model."""
+        model = load_model(name)
+        config = BenchConfig(n_cells=12, n_steps=150)
+        stim = config.stimulus_for(model)
+        base = KernelRunner(generate_baseline(model))
+        vec = KernelRunner(generate_limpet_mlir(model, 8))
+        r1 = base.simulate(12, 150, 0.01, stim, perturbation=0.005)
+        r2 = vec.simulate(12, 150, 0.01, stim, perturbation=0.005)
+        assert compare_trajectories(r1.state, r2.state), name
+        vm = r2.state.externals["Vm"]
+        assert np.isfinite(vm).all(), name
+
+
+class TestSuiteProperties:
+    @pytest.fixture(scope="class")
+    def analyzed(self):
+        return {name: load_model(name) for name in ALL_MODELS}
+
+    def test_large_models_have_more_states_than_small(self, analyzed):
+        small_max = max(len(analyzed[n].states) for n in SMALL_MODELS)
+        large_min = min(len(analyzed[n].states) for n in LARGE_MODELS)
+        assert large_min > small_max
+
+    def test_all_integration_methods_exercised(self, analyzed):
+        from repro.frontend import Method
+        used = {m for model in analyzed.values()
+                for m in model.methods.values()}
+        assert used == set(Method)
+
+    def test_isac_hu_has_no_lut(self, analyzed):
+        """§4.1: ISAC_Hu does not use lookup tables."""
+        assert analyzed["ISAC_Hu"].lut_tables == []
+
+    def test_most_models_use_luts(self, analyzed):
+        with_lut = sum(1 for m in analyzed.values() if m.lut_tables)
+        assert with_lut >= 30
+
+    def test_gates_present_in_membrane_models(self, analyzed):
+        for name in ("HodgkinHuxley", "BeelerReuter", "LuoRudy91",
+                     "Courtemanche", "TenTusscherPanfilov", "OHara"):
+            assert analyzed[name].gates, name
+
+    def test_markov_models_use_markov_be(self, analyzed):
+        from repro.frontend import Method
+        for name in ("WangSobie", "IyerMazhariWinslow",
+                     "BondarenkoSzigeti"):
+            methods = set(analyzed[name].methods.values())
+            assert Method.MARKOV_BE in methods, name
+
+    def test_generated_models_are_distinct(self, analyzed):
+        """No two synthesized models share their parameter values."""
+        signatures = {}
+        for name in ALL_MODELS:
+            if name in HAND_WRITTEN:
+                continue
+            model = analyzed[name]
+            sig = tuple(sorted(model.params.items()))
+            assert sig not in signatures.values(), name
+            signatures[name] = sig
+
+    def test_hand_written_models_marked(self):
+        assert "HodgkinHuxley" in HAND_WRITTEN
+        assert "OHara" not in HAND_WRITTEN
+
+    def test_state_counts_span_paper_range(self, analyzed):
+        counts = [len(m.states) for m in analyzed.values()]
+        assert min(counts) == 1
+        assert max(counts) >= 25
+
+
+class TestLongerStability:
+    """Longer runs on one model per class stay physical."""
+
+    @pytest.mark.parametrize("name", ["MitchellSchaeffer", "LuoRudy91",
+                                      "TenTusscherPanfilov"])
+    def test_five_thousand_steps_bounded(self, name):
+        model = load_model(name)
+        config = BenchConfig()
+        runner = KernelRunner(generate_limpet_mlir(model, 8))
+        result = runner.simulate(16, 5000, 0.01,
+                                 config.stimulus_for(model),
+                                 perturbation=0.005, record_vm=True)
+        vm = result.vm_trace
+        assert np.isfinite(vm).all()
+        if abs(model.external_init.get("Vm", 0.0)) > 5:
+            assert vm.min() > -150 and vm.max() < 90

@@ -1,0 +1,134 @@
+"""Spline LUT interpolation tests (paper §7 future work, implemented)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.codegen import generate_baseline, generate_limpet_mlir
+from repro.frontend import load_model
+from repro.runtime import KernelRunner, compare_trajectories
+from repro.runtime.lut_runtime import (build_all_luts, lut_interp_row,
+                                       lut_interp_row_spline,
+                                       lut_interp_row_spline_vec,
+                                       lut_interp_row_vec)
+
+COARSE_MODEL = """
+Vm; .external(); .lookup(-10,10,1.0);
+a = exp(Vm/10);
+b = 1/(1+exp(-Vm/4));
+diff_x = a*b - x; x_init = 0;
+"""
+
+
+@pytest.fixture
+def coarse_lut():
+    model = load_model(COARSE_MODEL, "Coarse")
+    return build_all_luts(model, dt=0.01)[0]
+
+
+class TestSplineInterp:
+    def test_exact_at_grid_points(self, coarse_lut):
+        for i in range(coarse_lut.n_rows):
+            key = coarse_lut.lo + i * coarse_lut.step
+            spline = lut_interp_row_spline(coarse_lut, key)
+            assert spline[0] == pytest.approx(coarse_lut.rows[i, 0],
+                                              abs=1e-13)
+
+    def test_order_of_magnitude_more_accurate_than_linear(self,
+                                                          coarse_lut):
+        keys = np.linspace(-8.5, 8.5, 69)
+        exact = np.exp(keys / 10)
+        linear = lut_interp_row_vec(coarse_lut, keys)[0]
+        spline = lut_interp_row_spline_vec(coarse_lut, keys)[0]
+        err_linear = np.abs(linear - exact).max()
+        err_spline = np.abs(spline - exact).max()
+        assert err_spline < err_linear / 50
+
+    def test_convergence_order_four(self):
+        """Halving the step must cut the midpoint error ~16x."""
+        def spline_error(step):
+            model = load_model(COARSE_MODEL.replace("1.0", str(step)),
+                               "C2")
+            lut = build_all_luts(model)[0]
+            keys = np.linspace(-5.0, 5.0, 101) + step / 2
+            exact = np.exp(keys / 10)
+            return np.abs(lut_interp_row_spline_vec(lut, keys)[0]
+                          - exact).max()
+
+        ratio = spline_error(1.0) / spline_error(0.5)
+        assert ratio > 8.0
+
+    def test_clamps_at_table_ends(self, coarse_lut):
+        low = lut_interp_row_spline(coarse_lut, -999.0)
+        assert low[0] == pytest.approx(coarse_lut.rows[0, 0], abs=1e-12)
+
+    def test_nan_key_propagates(self, coarse_lut):
+        row = lut_interp_row_spline(coarse_lut, float("nan"))
+        assert math.isnan(row[0])
+
+    def test_scalar_matches_vector(self, coarse_lut):
+        for key in (-9.7, -2.3, 0.0, 4.45, 9.99):
+            scalar = lut_interp_row_spline(coarse_lut, key)
+            vector = lut_interp_row_spline_vec(coarse_lut,
+                                               np.array([key]))
+            assert scalar[0] == pytest.approx(vector[0][0], abs=1e-15)
+
+
+class TestSplineCodegen:
+    def test_spline_symbols_in_ir(self, gate_model):
+        kernel = generate_limpet_mlir(gate_model, 8,
+                                      lut_interpolation="spline")
+        calls = [op.attributes["callee"] for op in kernel.module.walk()
+                 if op.name == "func.call"]
+        assert all(c.startswith("LUT_interpRowSpline_n_elements_vec")
+                   for c in calls)
+
+    def test_invalid_mode_rejected(self, gate_model):
+        with pytest.raises(ValueError, match="interpolation"):
+            generate_limpet_mlir(gate_model, 8, lut_interpolation="bezier")
+        with pytest.raises(ValueError, match="interpolation"):
+            generate_baseline(gate_model, lut_interpolation="bezier")
+
+    def test_backend_equivalence_spline(self, gate_model):
+        base = KernelRunner(generate_baseline(gate_model,
+                                              lut_interpolation="spline"))
+        vec = KernelRunner(generate_limpet_mlir(
+            gate_model, 8, lut_interpolation="spline"))
+        r1 = base.simulate(10, 120, 0.01, perturbation=0.01)
+        r2 = vec.simulate(10, 120, 0.01, perturbation=0.01)
+        assert compare_trajectories(r1.state, r2.state)
+
+    def test_spline_trajectory_closer_to_exact(self):
+        """End-to-end: spline LUT tracks the non-LUT kinetics better
+        than linear LUT on the same (coarse) table."""
+        source = COARSE_MODEL
+        model = load_model(source, "Coarse")
+        exact = KernelRunner(generate_limpet_mlir(model, 8, use_lut=False))
+        linear = KernelRunner(generate_limpet_mlir(model, 8))
+        spline = KernelRunner(generate_limpet_mlir(
+            model, 8, lut_interpolation="spline"))
+        runs = {}
+        for name, runner in (("exact", exact), ("linear", linear),
+                             ("spline", spline)):
+            state = runner.make_state(4, vm_init=3.7)
+            runner.run(state, 300, 0.01)
+            runs[name] = state.state_of("x")[0]
+        err_linear = abs(runs["linear"] - runs["exact"])
+        err_spline = abs(runs["spline"] - runs["exact"])
+        assert err_spline < err_linear / 10
+
+    def test_spline_profile_costs_more(self, gate_model):
+        from repro.ir.passes import default_pipeline
+        from repro.machine import AVX512, CostModel, profile_kernel
+        cost = CostModel()
+        cycles = {}
+        for mode in ("linear", "spline"):
+            kernel = generate_limpet_mlir(gate_model, 8,
+                                          lut_interpolation=mode)
+            default_pipeline(verify_each=False).run(kernel.module,
+                                                    fixed_point=True)
+            profile = profile_kernel(kernel.module,
+                                     kernel.spec.function_name)
+            cycles[mode] = cost.cycles_per_iteration(profile, AVX512)
+        assert cycles["spline"] > cycles["linear"]

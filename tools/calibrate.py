@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Calibration sweep: modeled times/speedups for all 43 models.
+
+Prints per-model baseline time and limpetMLIR speedups at 1 and 32
+threads (AVX-512, 8192 cells, 100k steps) plus class geomeans, next to
+the paper's headline targets.  Used while tuning the cost-model
+constants; the benchmark suite re-asserts the resulting shape.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro.codegen import BackendMode, generate_baseline, generate_limpet_mlir
+from repro.ir.passes import default_pipeline
+from repro.machine import AVX512, CostModel, profile_kernel
+from repro.models import ALL_MODELS, SIZE_CLASS, load_model
+
+N_CELLS, N_STEPS = 8192, 100_000
+
+
+def gmean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main() -> int:
+    cost = CostModel()
+    rows = []
+    for name in ALL_MODELS:
+        model = load_model(name)
+        base = generate_baseline(model)
+        vec = generate_limpet_mlir(model, 8)
+        for kernel in (base, vec):
+            default_pipeline(verify_each=False).run(kernel.module,
+                                                    fixed_point=True)
+        pb = profile_kernel(base.module, base.spec.function_name)
+        pv = profile_kernel(vec.module, vec.spec.function_name)
+        tb1 = cost.total_time(pb, AVX512, 1, N_CELLS, N_STEPS,
+                              BackendMode.BASELINE)
+        tv1 = cost.total_time(pv, AVX512, 1, N_CELLS, N_STEPS,
+                              BackendMode.LIMPET_MLIR)
+        tb32 = cost.total_time(pb, AVX512, 32, N_CELLS, N_STEPS,
+                               BackendMode.BASELINE)
+        tv32 = cost.total_time(pv, AVX512, 32, N_CELLS, N_STEPS,
+                               BackendMode.LIMPET_MLIR)
+        rows.append((name, SIZE_CLASS[name], tb1, tb1 / tv1, tb32 / tv32))
+    rows.sort(key=lambda r: r[2])
+    for name, cls, tb1, s1, s32 in rows:
+        print(f"{name:22s} {cls:6s} base1T={tb1:8.1f}s "
+              f"s1T={s1:6.2f} s32T={s32:6.2f}")
+    print()
+    for cls, paper1, paper32 in (("small", None, 0.83),
+                                 ("medium", None, 1.34),
+                                 ("large", None, 6.03)):
+        s1 = [r[3] for r in rows if r[1] == cls]
+        s32 = [r[4] for r in rows if r[1] == cls]
+        t1 = [r[2] for r in rows if r[1] == cls]
+        print(f"{cls:6s}: base1T [{min(t1):7.1f},{max(t1):8.1f}]s  "
+              f"gmean1T {gmean(s1):5.2f}  gmean32T {gmean(s32):5.2f}"
+              f"  (paper 32T {paper32})")
+    all1 = [r[3] for r in rows]
+    all32 = [r[4] for r in rows]
+    print(f"ALL   : gmean1T {gmean(all1):5.2f} (paper 5.25)  "
+          f"gmean32T {gmean(all32):5.2f} (paper 1.93)  "
+          f"peak1T {max(all1):5.1f} (paper >15, up to ~26)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The artifact's ``evaluation.sh`` analog (paper appendix §A.5).
+
+The CGO artifact drives the experiments with::
+
+    ./evaluation.sh -fig2 true   # run experiments for Fig. 2
+    ./evaluation.sh -fig3 true   # run experiments for Fig. 3
+    ./evaluation.sh -fig5 true   # run experiments for Fig. 2-5
+
+and stores results as text files in an ``output`` folder.  This script
+reproduces that workflow on the modeled testbed: each flag evaluates
+the corresponding experiment over all 43 models and writes the raw
+per-model numbers to ``output/*.txt``; ``tools/res.py`` (the ``res.sh``
+analog, §A.6) turns them into the figure tables.
+
+By default ``-fig3`` is enabled, exactly like the artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench import ModeledBench, THREAD_SWEEP  # noqa: E402
+from repro.machine import AVX512, ISAS  # noqa: E402
+from repro.models import ALL_MODELS, SIZE_CLASS  # noqa: E402
+
+OUTPUT_DIR = pathlib.Path(__file__).resolve().parents[1] / "output"
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="run the paper's experiments (artifact workflow)")
+    parser.add_argument("-fig2", type=str, default="false",
+                        help="run experiments for Fig. 2 (1 thread)")
+    parser.add_argument("-fig3", type=str, default="true",
+                        help="run experiments for Fig. 3 (32 threads)")
+    parser.add_argument("-fig5", type=str, default="false",
+                        help="run experiments for Fig. 2-5 (full sweep)")
+    return parser.parse_args(argv)
+
+
+def truthy(text: str) -> bool:
+    return text.lower() in ("true", "1", "yes", "on")
+
+
+def write_rows(path: pathlib.Path, rows) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        for row in rows:
+            handle.write("\t".join(str(x) for x in row) + "\n")
+    print(f"wrote {path} ({len(rows)} rows)")
+
+
+def run_point(bench: ModeledBench, isa, threads: int):
+    rows = [("model", "class", "baseline_s", "limpetmlir_s")]
+    for name in ALL_MODELS:
+        base = bench.seconds(name, "baseline", isa, threads)
+        vec = bench.seconds(name, "limpet_mlir", isa, threads)
+        rows.append((name, SIZE_CLASS[name], f"{base:.4f}", f"{vec:.4f}"))
+    return rows
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    bench = ModeledBench()
+    ran_any = False
+    if truthy(args.fig2) or truthy(args.fig5):
+        write_rows(OUTPUT_DIR / "fig2_avx512_1t.txt",
+                   run_point(bench, AVX512, 1))
+        ran_any = True
+    if truthy(args.fig3) or truthy(args.fig5):
+        write_rows(OUTPUT_DIR / "fig3_avx512_32t.txt",
+                   run_point(bench, AVX512, 32))
+        ran_any = True
+    if truthy(args.fig5):
+        for isa in ISAS.values():
+            for threads in THREAD_SWEEP:
+                write_rows(
+                    OUTPUT_DIR / f"fig5_{isa.name}_{threads}t.txt",
+                    run_point(bench, isa, threads))
+        ran_any = True
+    if not ran_any:
+        print("nothing selected; try -fig3 true")
+        return 1
+    print(f"\nall output files are in {OUTPUT_DIR}/ "
+          f"(run tools/res.py to build the figure tables, §A.6)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""The artifact's ``res.sh`` analog (paper appendix §A.6).
+
+Reads the per-model result files ``tools/evaluation.py`` wrote into
+``output/`` and produces the figures' speedup tables (as text —
+``fig2.txt`` instead of ``fig2.pdf``)::
+
+    python tools/res.py -fig2 true    # generates output/fig2.txt
+    python tools/res.py -fig3 true    # generates output/fig3.txt
+    python tools/res.py -fig5 true    # generates output/fig5.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import pathlib
+import sys
+
+OUTPUT_DIR = pathlib.Path(__file__).resolve().parents[1] / "output"
+THREADS = (1, 2, 4, 8, 16, 32)
+ISAS = ("sse", "avx2", "avx512")
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="build figure tables from evaluation output (§A.6)")
+    parser.add_argument("-fig2", type=str, default="false")
+    parser.add_argument("-fig3", type=str, default="false")
+    parser.add_argument("-fig5", type=str, default="false")
+    return parser.parse_args(argv)
+
+
+def truthy(text: str) -> bool:
+    return text.lower() in ("true", "1", "yes", "on")
+
+
+def read_rows(path: pathlib.Path):
+    if not path.exists():
+        raise SystemExit(
+            f"missing {path}; run tools/evaluation.py first (§A.5)")
+    rows = []
+    with open(path) as handle:
+        header = handle.readline()
+        for line in handle:
+            name, cls, base, vec = line.split("\t")
+            rows.append((name, cls, float(base), float(vec)))
+    return rows
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup_table(rows, title: str) -> str:
+    rows = sorted(rows, key=lambda r: r[2])
+    lines = [title, f"{'model':<24} {'class':<8} {'speedup':>8}"]
+    for name, cls, base, vec in rows:
+        lines.append(f"{name:<24} {cls:<8} {base / vec:>7.2f}x")
+    lines.append("")
+    for cls in ("small", "medium", "large"):
+        values = [b / v for _, c, b, v in rows if c == cls]
+        if values:
+            lines.append(f"geomean {cls:<7}: {geomean(values):.2f}x")
+    lines.append(f"geomean overall: "
+                 f"{geomean([b / v for _, _, b, v in rows]):.2f}x")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    produced = []
+    if truthy(args.fig2):
+        rows = read_rows(OUTPUT_DIR / "fig2_avx512_1t.txt")
+        (OUTPUT_DIR / "fig2.txt").write_text(speedup_table(
+            rows, "Fig. 2 - speedup, 1 thread, AVX-512"))
+        produced.append("fig2.txt")
+    if truthy(args.fig3):
+        rows = read_rows(OUTPUT_DIR / "fig3_avx512_32t.txt")
+        (OUTPUT_DIR / "fig3.txt").write_text(speedup_table(
+            rows, "Fig. 3 - speedup, 32 threads, AVX-512"))
+        produced.append("fig3.txt")
+    if truthy(args.fig5):
+        lines = ["Fig. 5 - geomean speedup per ISA vs threads",
+                 f"{'isa':<8} " + " ".join(f"{t:>7}T" for t in THREADS)]
+        for isa in ISAS:
+            values = []
+            for threads in THREADS:
+                rows = read_rows(OUTPUT_DIR / f"fig5_{isa}_{threads}t.txt")
+                values.append(geomean([b / v for _, _, b, v in rows]))
+            lines.append(f"{isa:<8} "
+                         + " ".join(f"{v:>7.2f}x" for v in values))
+        (OUTPUT_DIR / "fig5.txt").write_text("\n".join(lines) + "\n")
+        produced.append("fig5.txt")
+    if not produced:
+        print("nothing selected; pass -fig2/-fig3/-fig5 true")
+        return 1
+    for name in produced:
+        print(f"--- output/{name} ---")
+        print((OUTPUT_DIR / name).read_text())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
