@@ -24,7 +24,9 @@ The package layers, bottom-up:
 * :mod:`repro.runtime` — lowering to executable kernels, LUTs, driver;
 * :mod:`repro.machine` — the calibrated Cascade Lake cost model;
 * :mod:`repro.models` — the 43-model suite;
-* :mod:`repro.bench` — the bench harness regenerating every figure.
+* :mod:`repro.bench` — the bench harness regenerating every figure;
+* :mod:`repro.resilience` — backend fallback chain, sandboxed passes,
+  numerical watchdog, fault injection.
 """
 
 from .easyml import parse_model, parse_model_file
@@ -35,7 +37,10 @@ from .codegen import (BackendMode, GeneratedKernel, KernelSpec, Layout,
                       aos, aosoa, generate_baseline, generate_icc_simd,
                       generate_limpet_mlir, soa)
 from .runtime import (KernelRunner, RunResult, SimulationState, Stimulus,
-                      compare_trajectories)
+                      TrajectoryComparison, compare_trajectories)
+from .resilience import (Diagnostic, FaultInjector, FaultPlan, HealthReport,
+                         NumericalDivergenceError, ResilientCompileError,
+                         ResilientKernel, WatchdogConfig, compile_resilient)
 from .machine import (AVX2, AVX512, CASCADE_LAKE, SSE, CostModel,
                       profile_kernel)
 from .models import ALL_MODELS, SIZE_CLASS, list_models, load_model
@@ -52,5 +57,8 @@ __all__ = [
     "compare_trajectories", "AVX2", "AVX512", "CASCADE_LAKE", "SSE",
     "CostModel", "profile_kernel", "ALL_MODELS", "SIZE_CLASS",
     "list_models", "load_model", "ModeledBench", "geomean",
-    "run_measured", "__version__",
+    "run_measured", "TrajectoryComparison", "Diagnostic", "FaultInjector",
+    "FaultPlan", "HealthReport", "NumericalDivergenceError",
+    "ResilientCompileError", "ResilientKernel", "WatchdogConfig",
+    "compile_resilient", "__version__",
 ]

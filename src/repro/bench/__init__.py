@@ -2,7 +2,8 @@
 
 from .harness import (PAPER_CELLS, PAPER_DT, PAPER_STEPS, VARIANTS,
                       BenchConfig, MeasuredRun, ModeledBench, ModeledRun,
-                      generate_variant, kernel_profile, run_measured)
+                      SweepRecord, format_sweep_table, generate_variant,
+                      kernel_profile, resilient_sweep, run_measured)
 from .report import (THREAD_SWEEP, figure_isa_sweep, figure_roofline,
                      figure_scaling, figure_speedups, format_isa_sweep,
                      format_scaling_table, format_speedup_table,
@@ -11,6 +12,7 @@ from .timing import geomean, measure, trimmed_mean
 
 __all__ = ["PAPER_CELLS", "PAPER_DT", "PAPER_STEPS", "VARIANTS",
            "BenchConfig", "MeasuredRun", "ModeledBench", "ModeledRun",
+           "SweepRecord", "format_sweep_table", "resilient_sweep",
            "generate_variant", "kernel_profile", "run_measured",
            "THREAD_SWEEP", "figure_isa_sweep", "figure_roofline",
            "figure_scaling", "figure_speedups", "format_isa_sweep",

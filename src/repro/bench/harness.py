@@ -14,9 +14,10 @@ is its equivalent entry point, in two modes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import pathlib
+from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Optional
+from typing import Callable, List, Optional, Sequence
 
 from ..codegen import (BackendMode, GeneratedKernel, generate_baseline,
                        generate_icc_simd, generate_limpet_mlir)
@@ -24,7 +25,10 @@ from ..frontend import IonicModel
 from ..ir.passes import default_pipeline
 from ..machine import (AVX512, CostModel, KernelProfile, VectorISA,
                        profile_kernel)
-from ..models import SIZE_CLASS, load_model
+from ..models import SIZE_CLASS, all_model_files, load_model
+from ..resilience import (Diagnostic, HealthReport,
+                          NumericalDivergenceError, Severity,
+                          WatchdogConfig, compile_resilient)
 from ..runtime import KernelRunner, Stimulus
 from .timing import measure
 
@@ -183,3 +187,110 @@ def run_measured(model_name: str, variant: str = "limpet_mlir",
     seconds = measure(one_run, runs=runs)
     return MeasuredRun(model=model_name, variant=variant, width=width,
                        n_cells=n_cells, n_steps=n_steps, seconds=seconds)
+
+
+# ---------------------------------------------------------------------------
+# Resilient sweep: the figure-run workhorse that survives bad models
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepRecord:
+    """Per-model outcome of a resilient sweep (never an exception)."""
+
+    model: str
+    ok: bool
+    backend: Optional[str] = None       # tier that compiled (None = none)
+    fell_back: bool = False
+    seconds: Optional[float] = None
+    health: Optional[HealthReport] = None
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def status(self) -> str:
+        if not self.ok:
+            return "FAILED"
+        if self.health is not None and self.health.retries:
+            return "recovered"
+        return "fell_back" if self.fell_back else "ok"
+
+
+def resilient_sweep(model_names: Optional[Sequence[str]] = None,
+                    width: int = 8, n_cells: int = 32, n_steps: int = 40,
+                    dt: float = PAPER_DT,
+                    watchdog: Optional[WatchdogConfig] = None,
+                    strict: bool = False,
+                    reproducer_dir: Optional[pathlib.Path] = None,
+                    inject_factory: Optional[Callable[[str], object]] = None
+                    ) -> List[SweepRecord]:
+    """Run every model through the resilient compile-and-run pipeline.
+
+    This is what keeps a full figure sweep alive: each model compiles
+    down the backend fallback chain (sandboxed passes, quarantine,
+    reproducers) and runs under the numerical watchdog; any failure is
+    captured as a :class:`SweepRecord` with diagnostics instead of
+    aborting the sweep.  ``inject_factory(model_name)`` may return a
+    :class:`~repro.resilience.FaultInjector` per model (fault drills).
+    """
+    names = list(model_names) if model_names is not None \
+        else list(all_model_files())
+    guard = watchdog or WatchdogConfig()
+    records: List[SweepRecord] = []
+    for name in names:
+        inject = inject_factory(name) if inject_factory else None
+        record = SweepRecord(model=name, ok=False)
+        records.append(record)
+        try:
+            compiled = compile_resilient(
+                name, width=width, strict=strict,
+                reproducer_dir=reproducer_dir, inject=inject)
+        except Exception as err:  # noqa: BLE001 - sweep survives anything
+            record.diagnostics.extend(getattr(err, "diagnostics", []))
+            record.diagnostics.append(Diagnostic.from_exception(
+                stage="compile", component="chain", exc=err,
+                severity=Severity.ERROR, with_traceback=False, model=name))
+            continue
+        record.backend = compiled.backend
+        record.fell_back = compiled.fell_back
+        record.diagnostics.extend(compiled.diagnostics)
+        hook = inject.step_hook if inject is not None else None
+        try:
+            state = compiled.runner.make_state(n_cells)
+            result = compiled.runner.run(state, n_steps, dt,
+                                         watchdog=guard, step_hook=hook)
+        except NumericalDivergenceError as err:
+            record.health = err.report
+            record.diagnostics.append(Diagnostic.from_exception(
+                stage="run", component=name, exc=err,
+                severity=Severity.ERROR, with_traceback=False))
+            continue
+        except Exception as err:  # noqa: BLE001 - sweep survives anything
+            record.diagnostics.append(Diagnostic.from_exception(
+                stage="run", component=name, exc=err,
+                severity=Severity.ERROR))
+            continue
+        record.health = result.health
+        record.seconds = result.elapsed_seconds
+        record.ok = bool(result.health is None or result.health.ok)
+    return records
+
+
+def format_sweep_table(records: Sequence[SweepRecord],
+                       title: str = "resilient sweep") -> str:
+    """Render sweep records as the CLI/CI report table."""
+    lines = [title,
+             f"{'model':<24} {'backend':<12} {'status':<10} "
+             f"{'retries':>7}  notes"]
+    for rec in records:
+        retries = rec.health.retries if rec.health else 0
+        notes = "; ".join(
+            d.message.split("\n")[0][:48] for d in rec.diagnostics
+            if d.severity is not Severity.INFO)[:72]
+        lines.append(f"{rec.model:<24} {rec.backend or '-':<12} "
+                     f"{rec.status:<10} {retries:>7}  {notes}")
+    n_ok = sum(1 for r in records if r.ok)
+    lines.append(f"{n_ok}/{len(records)} models completed "
+                 f"({sum(1 for r in records if r.fell_back)} via fallback, "
+                 f"{sum(1 for r in records if r.health and r.health.retries)}"
+                 f" recovered by dt-halving)")
+    return "\n".join(lines)

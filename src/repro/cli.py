@@ -6,30 +6,75 @@ Subcommands:
 * ``describe MODEL`` — the frontend's analysis of one model;
 * ``ir MODEL`` — print the generated IR (``--pretty`` for MLIR-like
   sugar, ``--backend`` to pick the code generator);
-* ``run MODEL`` — execute a real simulation and report wall time;
+* ``run MODEL`` — execute a real simulation and report wall time
+  (resilient by default: backend fallback chain + optional watchdog;
+  ``--strict`` fails fast instead, for CI);
 * ``compare MODEL`` — run baseline and limpetMLIR engines, check the
   trajectories agree and report the measured speedup;
 * ``figure {fig2,fig3,fig4,fig5,fig6}`` — regenerate a paper figure's
-  data from the modeled Cascade Lake bench.
+  data from the modeled Cascade Lake bench;
+* ``faults`` — the fault-injection drill: deterministically break a
+  pass, corrupt IR, poison a run with NaNs and fail backends, then
+  check the resilience layer recovers from every one.
+
+Exit codes are structured for CI: 0 success, 1 result failure
+(mismatch / not vectorizable), 2 usage (argparse), 3 compiled only via
+a fallback tier, 4 compile failed outright, 5 numerical divergence
+unrecovered, 6 fault-injection drill failed.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import tempfile
 from typing import List, Optional
 
-from .bench import (figure_isa_sweep, figure_roofline,
-                    figure_scaling, figure_speedups, format_isa_sweep,
-                    format_scaling_table, format_speedup_table,
-                    generate_variant, run_measured)
-from .codegen import (check_simd_legality, generate_baseline, generate_limpet_mlir)
-from .ir import print_module
+from .bench import (figure_isa_sweep, figure_roofline, figure_scaling,
+                    figure_speedups, format_isa_sweep, format_scaling_table,
+                    format_speedup_table, format_sweep_table,
+                    generate_variant, resilient_sweep)
+from .codegen import check_simd_legality
+from .ir import print_module, verify_module
 from .ir.passes import default_pipeline
 from .machine import format_roofline_table
 from .models import (ALL_MODELS, UNSUPPORTED_MODELS,
                      all_model_files, list_models, load_model)
-from .runtime import KernelRunner, Stimulus, compare_trajectories
+from .resilience import (FaultInjector, FaultPlan, NumericalDivergenceError,
+                         ResilientCompileError, WatchdogConfig,
+                         compile_resilient, format_trail, load_reproducer)
+from .runtime import Stimulus, compare_trajectories
+
+#: structured exit codes (documented above; mapped from Diagnostics)
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_FELL_BACK = 3
+EXIT_COMPILE_FAILED = 4
+EXIT_NUMERICAL = 5
+EXIT_FAULTS = 6
+
+#: chain starting points: requesting a tier tries it, then weaker tiers
+_CHAINS = {
+    "limpet_mlir": ("limpet_mlir", "icc_simd", "baseline"),
+    "icc_simd": ("icc_simd", "baseline"),
+    "baseline": ("baseline",),
+}
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0.0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
 
 
 def _add_model_argument(parser: argparse.ArgumentParser,
@@ -45,14 +90,17 @@ def build_parser() -> argparse.ArgumentParser:
         description="limpetMLIR reproduction bench (CGO'23)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the 43-model suite")
+    list_cmd = sub.add_parser("list", help="list the 43-model suite")
+    list_cmd.set_defaults(func=lambda args: cmd_list())
 
     describe = sub.add_parser("describe", help="frontend analysis summary")
     _add_model_argument(describe, include_unsupported=True)
+    describe.set_defaults(func=lambda args: cmd_describe(args.model))
 
     legality = sub.add_parser(
         "legality", help="check the paper's SIMD criteria (paper section 5)")
     _add_model_argument(legality, include_unsupported=True)
+    legality.set_defaults(func=lambda args: cmd_legality(args.model))
 
     ir_cmd = sub.add_parser("ir", help="print generated IR")
     _add_model_argument(ir_cmd)
@@ -64,25 +112,52 @@ def build_parser() -> argparse.ArgumentParser:
                         help="MLIR-like sugared syntax")
     ir_cmd.add_argument("--no-opt", action="store_true",
                         help="skip the pass pipeline")
+    ir_cmd.set_defaults(func=lambda args: cmd_ir(
+        args.model, args.backend, args.width, args.pretty, args.no_opt))
 
     run_cmd = sub.add_parser("run", help="run a real simulation")
-    _add_model_argument(run_cmd)
+    _add_model_argument(run_cmd, include_unsupported=True)
     run_cmd.add_argument("--backend", default="limpet_mlir",
                          choices=("baseline", "limpet_mlir", "icc_simd"))
     run_cmd.add_argument("--width", type=int, default=8, choices=(2, 4, 8))
-    run_cmd.add_argument("--cells", type=int, default=1024)
-    run_cmd.add_argument("--steps", type=int, default=200)
-    run_cmd.add_argument("--dt", type=float, default=0.01)
+    run_cmd.add_argument("--cells", type=_positive_int, default=1024)
+    run_cmd.add_argument("--steps", type=_positive_int, default=200)
+    run_cmd.add_argument("--dt", type=_positive_float, default=0.01)
+    run_cmd.add_argument("--strict", action="store_true",
+                         help="disable the backend fallback chain "
+                              "(fail fast, for CI)")
+    run_cmd.add_argument("--watchdog", default="off",
+                         choices=("off", "raise", "halve_dt",
+                                  "abort_cell_report"),
+                         help="numerical watchdog policy (default: off)")
+    run_cmd.set_defaults(func=lambda args: cmd_run(
+        args.model, args.backend, args.width, args.cells, args.steps,
+        args.dt, args.strict, args.watchdog))
 
     compare = sub.add_parser(
         "compare", help="baseline vs limpetMLIR: equivalence + speedup")
     _add_model_argument(compare)
-    compare.add_argument("--cells", type=int, default=512)
-    compare.add_argument("--steps", type=int, default=100)
+    compare.add_argument("--cells", type=_positive_int, default=512)
+    compare.add_argument("--steps", type=_positive_int, default=100)
+    compare.add_argument("--strict", action="store_true",
+                         help="disable the backend fallback chain")
+    compare.set_defaults(func=lambda args: cmd_compare(
+        args.model, args.cells, args.steps, args.strict))
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("which",
                         choices=("fig2", "fig3", "fig4", "fig5", "fig6"))
+    figure.set_defaults(func=lambda args: cmd_figure(args.which))
+
+    faults = sub.add_parser(
+        "faults", help="fault-injection drill for the resilience layer")
+    faults.add_argument("--smoke", action="store_true",
+                        help="fast subset (CI smoke job)")
+    faults.add_argument("--reproducer-dir", default=None,
+                        help="where quarantined passes write reproducer "
+                             "bundles (default: a temporary directory)")
+    faults.set_defaults(func=lambda args: cmd_faults(
+        args.smoke, args.reproducer_dir))
     return parser
 
 
@@ -98,13 +173,13 @@ def cmd_list() -> int:
           f"{len(ALL_MODELS)} limpetMLIR-supported "
           f"(8 small / 22 medium / 13 large), 4 baseline-only — "
           f"matching the paper (section 3.3.2, section 4.1)")
-    return 0
+    return EXIT_OK
 
 
 def cmd_legality(model_name: str) -> int:
     report = check_simd_legality(load_model(model_name))
     print(report.describe())
-    return 0 if report.vectorizable else 1
+    return EXIT_OK if report.vectorizable else EXIT_FAILURE
 
 
 def cmd_describe(model_name: str) -> int:
@@ -112,7 +187,7 @@ def cmd_describe(model_name: str) -> int:
     print(model.describe())
     for warning in model.warnings:
         print(f"warning: {warning}")
-    return 0
+    return EXIT_OK
 
 
 def cmd_ir(model_name: str, backend: str, width: int, pretty: bool,
@@ -123,36 +198,85 @@ def cmd_ir(model_name: str, backend: str, width: int, pretty: bool,
         default_pipeline(verify_each=False).run(kernel.module,
                                                 fixed_point=True)
     sys.stdout.write(print_module(kernel.module, pretty=pretty))
-    return 0
+    return EXIT_OK
 
 
 def cmd_run(model_name: str, backend: str, width: int, cells: int,
-            steps: int, dt: float) -> int:
-    result = run_measured(model_name, backend, width, cells, steps, dt,
-                          runs=3)
-    per_cell_step = result.seconds / (cells * steps) * 1e9
-    print(f"{model_name} [{backend}, width {width}]: "
-          f"{cells} cells x {steps} steps in {result.seconds * 1e3:.1f} ms "
+            steps: int, dt: float, strict: bool = False,
+            watchdog: str = "off") -> int:
+    chain = _CHAINS[backend]
+    try:
+        compiled = compile_resilient(model_name, chain=chain, width=width,
+                                     strict=strict)
+    except ResilientCompileError as err:
+        print(format_trail(err.diagnostics))
+        print(f"{model_name}: all backend tiers failed", file=sys.stderr)
+        return EXIT_COMPILE_FAILED
+    except Exception as err:  # noqa: BLE001 - strict mode fails fast
+        print(f"{model_name}: compile failed ({type(err).__name__}): {err}",
+              file=sys.stderr)
+        return EXIT_COMPILE_FAILED
+    guard = None if watchdog == "off" else WatchdogConfig(policy=watchdog)
+    try:
+        result = None
+        seconds = float("inf")
+        for _ in range(3):              # the paper's best-of-N protocol
+            result = compiled.runner.simulate(cells, steps, dt,
+                                              watchdog=guard)
+            seconds = min(seconds, result.elapsed_seconds)
+    except NumericalDivergenceError as err:
+        print(err.report.summary())
+        print(f"{model_name}: numerical divergence unrecovered: {err}",
+              file=sys.stderr)
+        return EXIT_NUMERICAL
+    per_cell_step = seconds / (cells * steps) * 1e9
+    print(f"{model_name} [{compiled.backend}, width "
+          f"{compiled.kernel.spec.width}]: "
+          f"{cells} cells x {steps} steps in {seconds * 1e3:.1f} ms "
           f"({per_cell_step:.1f} ns/cell-step)")
-    return 0
+    if result.health is not None:
+        print(result.health.summary())
+    if compiled.fell_back:
+        print(f"note: requested {backend!r} unavailable, "
+              f"fell back to {compiled.backend!r}:")
+        print(format_trail([d for d in compiled.diagnostics
+                            if d.error_type]))
+        return EXIT_FELL_BACK
+    if result.health is not None and not result.health.ok:
+        return EXIT_NUMERICAL
+    return EXIT_OK
 
 
-def cmd_compare(model_name: str, cells: int, steps: int) -> int:
+def cmd_compare(model_name: str, cells: int, steps: int,
+                strict: bool = False) -> int:
     model = load_model(model_name)
-    base = KernelRunner(generate_baseline(model))
-    vec = KernelRunner(generate_limpet_mlir(model, 8))
+    try:
+        base = compile_resilient(model, chain=("baseline",), strict=strict)
+        vec = compile_resilient(model, width=8, strict=strict)
+    except Exception as err:  # noqa: BLE001 - strict mode fails fast
+        print(f"{model_name}: compile failed ({type(err).__name__}): {err}",
+              file=sys.stderr)
+        return EXIT_COMPILE_FAILED
     stim = Stimulus(amplitude=-20.0 if
                     abs(model.external_init.get("Vm", 0.0)) > 5 else -0.3,
                     duration=1.0, period=400.0)
-    res_base = base.simulate(cells, steps, stimulus=stim, perturbation=0.005)
-    res_vec = vec.simulate(cells, steps, stimulus=stim, perturbation=0.005)
-    equal = compare_trajectories(res_base.state, res_vec.state)
+    res_base = base.runner.simulate(cells, steps, stimulus=stim,
+                                    perturbation=0.005)
+    res_vec = vec.runner.simulate(cells, steps, stimulus=stim,
+                                  perturbation=0.005)
+    comparison = compare_trajectories(res_base.state, res_vec.state)
     speedup = res_base.elapsed_seconds / res_vec.elapsed_seconds
     print(f"{model_name}: baseline {res_base.elapsed_seconds * 1e3:.1f} ms, "
           f"limpetMLIR {res_vec.elapsed_seconds * 1e3:.1f} ms "
           f"-> measured speedup {speedup:.1f}x")
-    print(f"trajectories equivalent: {equal}")
-    return 0 if equal else 1
+    print(f"trajectories equivalent: {bool(comparison)}")
+    if not comparison:
+        print(comparison.describe())
+    if vec.fell_back:
+        print(f"note: limpetMLIR tier unavailable, compared against "
+              f"{vec.backend!r}")
+        return EXIT_FELL_BACK
+    return EXIT_OK if comparison else EXIT_FAILURE
 
 
 def cmd_figure(which: str) -> int:
@@ -174,28 +298,134 @@ def cmd_figure(which: str) -> int:
         points, ceilings = figure_roofline()
         print("Fig. 6 — roofline, 32 cores AVX-512 (modeled testbed)")
         print(format_roofline_table(points, ceilings))
-    return 0
+    return EXIT_OK
+
+
+# ---------------------------------------------------------------------------
+# The fault-injection drill (``limpet-bench faults``)
+# ---------------------------------------------------------------------------
+
+
+def _drill_pass_exception(reproducer_dir) -> str:
+    """A pass that raises must be quarantined with a loadable bundle."""
+    inject = FaultInjector(FaultPlan(fail_pass="cse"))
+    compiled = compile_resilient("Plonsey", inject=inject,
+                                 reproducer_dir=reproducer_dir)
+    assert "cse" in compiled.sandbox.quarantined, "cse not quarantined"
+    assert compiled.sandbox.reproducers, "no reproducer bundle written"
+    module, meta = load_reproducer(compiled.sandbox.reproducers[0])
+    assert meta["pass"] == "cse" and module.funcs(), "bundle did not load"
+    clean = compile_resilient("Plonsey")
+    r_faulty = compiled.runner.simulate(16, 30, perturbation=0.01)
+    r_clean = clean.runner.simulate(16, 30, perturbation=0.01)
+    comparison = compare_trajectories(r_faulty.state, r_clean.state)
+    assert comparison, f"rolled-back module diverged: {comparison.describe()}"
+    return (f"pass exception: quarantined 'cse', bundle "
+            f"{compiled.sandbox.reproducers[0].name}, trajectories intact")
+
+
+def _drill_ir_corruption(reproducer_dir) -> str:
+    """A pass that corrupts IR must be rolled back by the verifier."""
+    inject = FaultInjector(FaultPlan(corrupt_after_pass="canonicalize"))
+    compiled = compile_resilient("Plonsey", inject=inject,
+                                 reproducer_dir=reproducer_dir)
+    assert "canonicalize" in compiled.sandbox.quarantined
+    verify_module(compiled.kernel.module)   # rolled-back module verifies
+    diag = [d for d in compiled.diagnostics if d.stage == "verify"]
+    assert diag, "no verify diagnostic recorded"
+    return "ir corruption: verifier caught it, module rolled back + verifies"
+
+
+def _drill_runtime_nan() -> str:
+    """An injected NaN must be recovered by dt-halving within budget."""
+    compiled = compile_resilient("Plonsey")
+    inject = FaultInjector(FaultPlan(nan_at_step=30, nan_cells=(0, 1)))
+    state = compiled.runner.make_state(16)
+    result = compiled.runner.run(
+        state, 100, 0.01, watchdog=WatchdogConfig(check_interval=10),
+        step_hook=inject.step_hook)
+    health = result.health
+    assert health.ok and health.retries >= 1, health.summary()
+    return f"runtime nan: {health.summary()}"
+
+
+def _drill_fallback_foreign(smoke: bool) -> str:
+    """Foreign-function models must land on baseline with diagnostics."""
+    names = UNSUPPORTED_MODELS[:1] if smoke else UNSUPPORTED_MODELS
+    for name in names:
+        compiled = compile_resilient(name)
+        assert compiled.backend == "baseline", (name, compiled.backend)
+        skipped = [d for d in compiled.diagnostics
+                   if d.error_type == "UnsupportedModelError"]
+        assert skipped, f"{name}: no explanatory diagnostic"
+    return (f"foreign fallback: {', '.join(names)} -> baseline with "
+            f"explanatory diagnostics")
+
+
+def _drill_sweep(smoke: bool, reproducer_dir) -> str:
+    """A sweep under injected faults must finish with per-model records."""
+    names = (["Plonsey", "FitzHughNagumo", "AlievPanfilov", "ARPF"]
+             if smoke else all_model_files())
+
+    def factory(name: str):
+        # deterministic per-model faults: every 3rd model loses its
+        # strongest backend, every 4th gets a NaN poke mid-run
+        idx = names.index(name)
+        plan = FaultPlan(
+            fail_backends=("limpet_mlir",) if idx % 3 == 0 else (),
+            nan_at_step=20 if idx % 4 == 0 else None)
+        return FaultInjector(plan)
+
+    records = resilient_sweep(names, n_cells=16, n_steps=30,
+                              watchdog=WatchdogConfig(check_interval=10),
+                              reproducer_dir=reproducer_dir,
+                              inject_factory=factory)
+    assert len(records) == len(names)
+    failed = [r.model for r in records if not r.ok]
+    assert not failed, "sweep records not ok:\n" + \
+        format_sweep_table(records)
+    n_fb = sum(1 for r in records if r.fell_back)
+    n_rec = sum(1 for r in records if r.health and r.health.retries)
+    return (f"sweep: {len(records)}/{len(names)} models completed "
+            f"({n_fb} via fallback, {n_rec} recovered by dt-halving)")
+
+
+def cmd_faults(smoke: bool = False,
+               reproducer_dir: Optional[str] = None) -> int:
+    """Run the fault-injection drill; nonzero exit if anything leaks."""
+    with tempfile.TemporaryDirectory() as tmp:
+        target = reproducer_dir or tmp
+        drills = [
+            ("pass-exception", lambda: _drill_pass_exception(target)),
+            ("ir-corruption", lambda: _drill_ir_corruption(target)),
+            ("runtime-nan", _drill_runtime_nan),
+            ("fallback-foreign", lambda: _drill_fallback_foreign(smoke)),
+            ("sweep", lambda: _drill_sweep(smoke, target)),
+        ]
+        failures = 0
+        for name, drill in drills:
+            try:
+                detail = drill()
+            except Exception as err:  # noqa: BLE001 - drill must report
+                failures += 1
+                print(f"FAIL {name:<18} {type(err).__name__}: {err}")
+            else:
+                print(f"PASS {name:<18} {detail}")
+        mode = "smoke" if smoke else "full"
+        print(f"\nfault drill ({mode}): "
+              f"{len(drills) - failures}/{len(drills)} scenarios passed")
+    return EXIT_OK if failures == 0 else EXIT_FAULTS
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.command == "list":
-        return cmd_list()
-    if args.command == "describe":
-        return cmd_describe(args.model)
-    if args.command == "legality":
-        return cmd_legality(args.model)
-    if args.command == "ir":
-        return cmd_ir(args.model, args.backend, args.width, args.pretty,
-                      args.no_opt)
-    if args.command == "run":
-        return cmd_run(args.model, args.backend, args.width, args.cells,
-                       args.steps, args.dt)
-    if args.command == "compare":
-        return cmd_compare(args.model, args.cells, args.steps)
-    if args.command == "figure":
-        return cmd_figure(args.which)
-    raise AssertionError(f"unhandled command {args.command}")
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe; not an error
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -1,0 +1,138 @@
+"""Backend fallback chain: limpet_mlir -> icc_simd -> baseline.
+
+The paper's toolchain quietly keeps 4 of 47 models on the baseline
+generator because foreign C calls cannot be vectorized (§3.3.2).  This
+module makes that degradation explicit and total: ``compile_resilient``
+walks a chain of backend tiers, catching :class:`UnsupportedModelError`,
+verifier failures, lowering errors — any compile-time exception — and
+returns the first tier that produces a working kernel, together with a
+structured :class:`~repro.resilience.diagnostics.Diagnostic` trail
+explaining why each earlier tier was skipped.  ``strict=True`` turns
+the chain off (fail fast, for CI).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from ..codegen import (GeneratedKernel, UnsupportedModelError,
+                       generate_baseline, generate_icc_simd,
+                       generate_limpet_mlir)
+from ..frontend.model import IonicModel
+from ..models import load_model
+from ..runtime import KernelRunner
+from .diagnostics import Diagnostic, Severity
+from .sandbox import SandboxedPassManager, sandboxed_pipeline
+
+#: the default tier order, strongest first
+DEFAULT_CHAIN = ("limpet_mlir", "icc_simd", "baseline")
+
+
+class ResilientCompileError(RuntimeError):
+    """Every tier of the fallback chain failed."""
+
+    def __init__(self, message: str, diagnostics: List[Diagnostic]):
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+
+@dataclass
+class ResilientKernel:
+    """Outcome of a resilient compile: kernel + how we got it."""
+
+    model_name: str
+    backend: str                    # the tier that succeeded
+    requested: str                  # the tier we first tried
+    kernel: GeneratedKernel
+    runner: KernelRunner
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    sandbox: Optional[SandboxedPassManager] = None
+
+    @property
+    def fell_back(self) -> bool:
+        return self.backend != self.requested
+
+    def describe(self) -> str:
+        head = f"{self.model_name}: compiled via {self.backend!r}"
+        if self.fell_back:
+            head += f" (requested {self.requested!r})"
+        return head
+
+
+def _generate(model: IonicModel, backend: str, width: int,
+              use_lut: bool) -> GeneratedKernel:
+    if backend == "limpet_mlir":
+        return generate_limpet_mlir(model, width, use_lut=use_lut)
+    if backend == "icc_simd":
+        return generate_icc_simd(model, width, use_lut=use_lut)
+    if backend == "baseline":
+        return generate_baseline(model, use_lut=use_lut)
+    raise ValueError(f"unknown backend tier {backend!r}; "
+                     f"one of {DEFAULT_CHAIN}")
+
+
+def compile_resilient(model: Union[str, IonicModel],
+                      chain: Sequence[str] = DEFAULT_CHAIN,
+                      width: int = 8, use_lut: bool = True,
+                      strict: bool = False, sandbox: bool = True,
+                      reproducer_dir: Optional[pathlib.Path] = None,
+                      inject=None) -> ResilientKernel:
+    """Compile ``model`` down the backend fallback chain.
+
+    Tries each tier in ``chain`` in order; a tier fails when code
+    generation, the (sandboxed) pass pipeline, verification, or
+    lowering raises.  Returns the first working tier's kernel wrapped
+    in a :class:`ResilientKernel` whose diagnostics explain every
+    skipped tier.  With ``strict=True`` the first tier's failure is
+    re-raised instead (no fallback).  ``inject`` is an optional
+    :class:`~repro.resilience.faultinject.FaultInjector` consulted per
+    tier (testing hook).
+    """
+    if isinstance(model, str):
+        model = load_model(model)
+    if not chain:
+        raise ValueError("empty fallback chain")
+    diagnostics: List[Diagnostic] = []
+    for tier, backend in enumerate(chain):
+        pipeline: Optional[SandboxedPassManager] = None
+        try:
+            if inject is not None:
+                inject.maybe_fail_backend(backend)
+            kernel = _generate(model, backend, width, use_lut)
+            if sandbox:
+                pipeline = sandboxed_pipeline(reproducer_dir)
+                if inject is not None:
+                    inject.wrap_pipeline(pipeline)
+                runner = KernelRunner(kernel, optimize=True, verify=True,
+                                      pipeline=pipeline)
+            else:
+                runner = KernelRunner(kernel, optimize=True, verify=True)
+        except Exception as err:  # noqa: BLE001 - tier boundary
+            if strict:
+                raise
+            severity = (Severity.WARNING if isinstance(
+                err, UnsupportedModelError) else Severity.ERROR)
+            diagnostics.append(Diagnostic.from_exception(
+                stage="compile", component=backend, exc=err,
+                severity=severity, with_traceback=not isinstance(
+                    err, UnsupportedModelError),
+                tier=tier, model=model.name))
+            continue
+        if pipeline is not None:
+            diagnostics.extend(pipeline.diagnostics)
+        diagnostics.append(Diagnostic(
+            stage="compile", component=backend, severity=Severity.INFO,
+            message=(f"compiled {model.name} via {backend!r}"
+                     + (f" after {tier} skipped tier(s)" if tier else "")),
+            data={"tier": tier, "model": model.name,
+                  "quarantined": sorted(pipeline.quarantined)
+                  if pipeline else []}))
+        return ResilientKernel(model_name=model.name, backend=backend,
+                               requested=chain[0], kernel=kernel,
+                               runner=runner, diagnostics=diagnostics,
+                               sandbox=pipeline)
+    raise ResilientCompileError(
+        f"{model.name}: every backend tier failed "
+        f"({', '.join(chain)}); see diagnostics", diagnostics)

@@ -1,0 +1,162 @@
+"""Sandboxed pass execution: snapshot -> run -> verify -> commit.
+
+MLIR's structured-codegen line of work keeps long pass pipelines sound
+by verifying after each transform; this module goes one step further
+the way a production driver must: every pass runs against a snapshot of
+the module, and when the pass either raises or leaves the module in a
+state the verifier rejects, the module is **rolled back** to the
+snapshot, the pass is **quarantined** for the remainder of the
+pipeline, and a **reproducer bundle** (pre-pass IR + pass name +
+traceback) is written to disk so the failure can be replayed offline::
+
+    <reproducer_dir>/<pass>-<n>/
+        module.ir       # the generic-form IR the pass was given
+        meta.json       # pass name, error type/message, pipeline position
+        traceback.txt   # the full Python traceback
+
+The bundle round-trips through :func:`load_reproducer`, which re-parses
+``module.ir`` into a fresh :class:`~repro.ir.core.Module`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+import traceback as _traceback
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.core import Module
+from ..ir.parser import parse_module
+from ..ir.passes.pass_manager import Pass, PassManager, PassStatistics
+from ..ir.printer import print_module
+from ..ir.verifier import VerificationError, verify_module
+from .diagnostics import Diagnostic, Severity
+
+
+def write_reproducer(directory: pathlib.Path, pass_name: str,
+                     ir_text: str, error: BaseException,
+                     position: int = 0) -> pathlib.Path:
+    """Write one reproducer bundle; returns the bundle directory."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    serial = 0
+    bundle = directory / f"{pass_name.replace('.', '_')}-{serial}"
+    while bundle.exists():
+        serial += 1
+        bundle = directory / f"{pass_name.replace('.', '_')}-{serial}"
+    bundle.mkdir()
+    (bundle / "module.ir").write_text(ir_text)
+    (bundle / "traceback.txt").write_text("".join(_traceback.format_exception(
+        type(error), error, error.__traceback__)))
+    meta = {"pass": pass_name, "error_type": type(error).__name__,
+            "message": str(error), "pipeline_position": position,
+            "format": "repro-reproducer-v1"}
+    (bundle / "meta.json").write_text(json.dumps(meta, indent=2))
+    return bundle
+
+
+def load_reproducer(bundle: pathlib.Path) -> Tuple[Module, Dict]:
+    """Load a bundle back: (re-parsed pre-pass module, metadata)."""
+    bundle = pathlib.Path(bundle)
+    meta = json.loads((bundle / "meta.json").read_text())
+    module = parse_module((bundle / "module.ir").read_text())
+    return module, meta
+
+
+def _rollback(module: Module, snapshot_text: str) -> None:
+    """Restore ``module`` in place from its printed snapshot."""
+    restored = parse_module(snapshot_text)
+    module.body = restored.body
+    module.attributes = dict(restored.attributes)
+
+
+class SandboxedPassManager(PassManager):
+    """A :class:`PassManager` where every pass runs in a sandbox.
+
+    On a pass exception or a post-pass verification failure the module
+    is rolled back to the pre-pass snapshot, the pass is quarantined
+    (skipped for the rest of this manager's lifetime), a diagnostic is
+    recorded, and — when ``reproducer_dir`` is set — a reproducer
+    bundle is written.  The pipeline itself never raises for a
+    quarantined pass; callers inspect :attr:`diagnostics` and
+    :attr:`quarantined`.
+    """
+
+    def __init__(self, passes: Optional[List[Pass]] = None,
+                 verify_each: bool = True, max_iterations: int = 8,
+                 reproducer_dir: Optional[pathlib.Path] = None):
+        super().__init__(passes=passes, verify_each=verify_each,
+                         max_iterations=max_iterations)
+        self.reproducer_dir = (pathlib.Path(reproducer_dir)
+                               if reproducer_dir else None)
+        self.quarantined: Set[str] = set()
+        self.diagnostics: List[Diagnostic] = []
+        self.reproducers: List[pathlib.Path] = []
+
+    # -- sandboxed execution -----------------------------------------------------
+
+    def _quarantine(self, pass_: Pass, position: int, error: BaseException,
+                    snapshot: str, stage: str) -> None:
+        self.quarantined.add(pass_.name)
+        bundle: Optional[pathlib.Path] = None
+        if self.reproducer_dir is not None:
+            bundle = write_reproducer(self.reproducer_dir, pass_.name,
+                                      snapshot, error, position)
+            self.reproducers.append(bundle)
+        self.diagnostics.append(Diagnostic.from_exception(
+            stage=stage, component=pass_.name, exc=error,
+            severity=Severity.WARNING,
+            reproducer=str(bundle) if bundle else None,
+            pipeline_position=position))
+
+    def run(self, module: Module, fixed_point: bool = False) -> bool:
+        """Run the pipeline with per-pass rollback; never raises for a
+        quarantined pass (the module is always left verifying)."""
+        any_change = False
+        for _ in range(self.max_iterations if fixed_point else 1):
+            round_change = False
+            for position, pass_ in enumerate(self.passes):
+                if pass_.name in self.quarantined:
+                    continue
+                stats = self.statistics.setdefault(pass_.name,
+                                                   PassStatistics())
+                snapshot = print_module(module)
+                start = time.perf_counter()
+                try:
+                    changed = pass_.run(module)
+                except Exception as err:  # noqa: BLE001 - sandbox boundary
+                    stats.seconds += time.perf_counter() - start
+                    stats.runs += 1
+                    _rollback(module, snapshot)
+                    self._quarantine(pass_, position, err, snapshot, "pass")
+                    continue
+                stats.seconds += time.perf_counter() - start
+                stats.runs += 1
+                try:
+                    verify_module(module)
+                except VerificationError as err:
+                    _rollback(module, snapshot)
+                    self._quarantine(pass_, position, err, snapshot,
+                                     "verify")
+                    continue
+                if changed:
+                    stats.changed += 1
+                    round_change = True
+            any_change = any_change or round_change
+            if not round_change:
+                break
+        return any_change
+
+
+def sandboxed_pipeline(reproducer_dir: Optional[pathlib.Path] = None,
+                       max_iterations: int = 8) -> SandboxedPassManager:
+    """The default pipeline (canonicalize/CSE/LICM/DCE) in a sandbox."""
+    from ..ir.passes.canonicalize import Canonicalize
+    from ..ir.passes.cse import CSE
+    from ..ir.passes.dce import DCE
+    from ..ir.passes.licm import LICM
+    return SandboxedPassManager([Canonicalize(), CSE(), LICM(), DCE()],
+                                verify_each=True,
+                                max_iterations=max_iterations,
+                                reproducer_dir=reproducer_dir)

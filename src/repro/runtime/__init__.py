@@ -1,20 +1,22 @@
 """Runtime: lowering to executable kernels, state, LUTs, the driver."""
 
 from .executor import (KernelRunner, RunResult, Stimulus,
-                       compare_trajectories)
+                       TrajectoryComparison, compare_trajectories)
 from .lowering import CompiledKernel, LoweringError, lower_function
 from .lut_runtime import (LUTData, build_all_luts, build_lut,
                           lut_interp_row, lut_interp_row_vec)
-from .state import SimulationState, allocate_state
+from .state import SimulationState, StateCheckpoint, allocate_state
 from .expr_eval import eval_expr, evaluate_plan
 from .hierarchy import HierarchicalSimulation, PluginInstance
 from .foreign import foreign_function, register_foreign, registered_foreign
 from .interpreter import Interpreter, InterpreterError, interpret_kernel
 
-__all__ = ["KernelRunner", "RunResult", "Stimulus", "compare_trajectories",
+__all__ = ["KernelRunner", "RunResult", "Stimulus", "TrajectoryComparison",
+           "compare_trajectories",
            "CompiledKernel", "LoweringError", "lower_function", "LUTData",
            "build_all_luts", "build_lut", "lut_interp_row",
-           "lut_interp_row_vec", "SimulationState", "allocate_state",
+           "lut_interp_row_vec", "SimulationState", "StateCheckpoint",
+           "allocate_state",
            "eval_expr", "evaluate_plan", "HierarchicalSimulation",
            "PluginInstance", "foreign_function", "register_foreign",
            "registered_foreign", "Interpreter", "InterpreterError",

@@ -6,23 +6,33 @@ cell, then (2) the **solver stage** — out of the paper's scope, stubbed
 here as an explicit membrane update — advances ``Vm`` from the computed
 ``Iion`` plus an optional stimulus.  The stub is identical for every
 backend so trajectories are directly comparable.
+
+Two resilience hooks thread through :meth:`KernelRunner.run`:
+
+* ``watchdog`` — a :class:`~repro.resilience.watchdog.WatchdogConfig`
+  (or ``NumericalWatchdog``) enabling periodic NaN/Inf scans with
+  checkpoint-and-retry (see that module for the policies);
+* ``step_hook`` — a callable invoked with the state after every
+  executed step (instrumentation and fault injection).
 """
 
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..codegen.common import GeneratedKernel
 from ..frontend.model import IonicModel
 from ..ir.passes import default_pipeline
+from ..ir.passes.pass_manager import PassManager
 from ..ir.verifier import verify_module
 from .lowering import CompiledKernel, lower_function
 from .lut_runtime import LUTData, build_all_luts
-from .state import SimulationState, allocate_state
+from .state import SimulationState, StateCheckpoint, allocate_state
 
 
 @dataclass
@@ -50,22 +60,39 @@ class RunResult:
     dt: float
     elapsed_seconds: float
     vm_trace: Optional[np.ndarray] = None
+    #: numerical health report (only when a watchdog guarded the run)
+    health: Optional["object"] = None
 
     @property
     def seconds_per_step(self) -> float:
         return self.elapsed_seconds / max(self.n_steps, 1)
 
 
+#: LUT tables are dt-dependent; adaptive-dt retries must neither rebuild
+#: tables for float-noise dt variations nor grow the cache unboundedly.
+_LUT_CACHE_MAX = 8
+_LUT_DT_DIGITS = 12
+
+
+def _quantize_dt(dt: float) -> float:
+    """Collapse float-noise dt values onto one cache key."""
+    return round(float(dt), _LUT_DT_DIGITS)
+
+
 class KernelRunner:
     """Owns one compiled kernel and runs simulations with it."""
 
     def __init__(self, generated: GeneratedKernel, optimize: bool = True,
-                 verify: bool = True):
+                 verify: bool = True,
+                 pipeline: Optional[PassManager] = None):
         self.generated = generated
         self.spec = generated.spec
         self.model: IonicModel = generated.spec.model
         self.layout = generated.layout
-        if optimize:
+        self.pipeline = pipeline
+        if pipeline is not None:
+            pipeline.run(generated.module, fixed_point=True)
+        elif optimize:
             default_pipeline(verify_each=False).run(generated.module,
                                                     fixed_point=True)
         if verify:
@@ -73,15 +100,23 @@ class KernelRunner:
         self.kernel: CompiledKernel = lower_function(
             generated.module, generated.spec.function_name)
         # LUTs include dt-dependent Rush-Larsen columns: built lazily
-        # for the dt of the first step, rebuilt if dt changes.
-        self._lut_cache: Dict[float, List[LUTData]] = {}
+        # for the dt of the first step, rebuilt if dt changes.  Keyed by
+        # quantized dt, LRU-bounded so watchdog dt-halving cannot leak.
+        self._lut_cache: "OrderedDict[float, List[LUTData]]" = OrderedDict()
 
     def luts_for(self, dt: float) -> List[LUTData]:
         if not self.spec.use_lut:
             return []
-        if dt not in self._lut_cache:
-            self._lut_cache[dt] = build_all_luts(self.model, dt=dt)
-        return self._lut_cache[dt]
+        key = _quantize_dt(dt)
+        cached = self._lut_cache.get(key)
+        if cached is not None:
+            self._lut_cache.move_to_end(key)
+            return cached
+        tables = build_all_luts(self.model, dt=dt)
+        self._lut_cache[key] = tables
+        while len(self._lut_cache) > _LUT_CACHE_MAX:
+            self._lut_cache.popitem(last=False)
+        return tables
 
     # -- setup --------------------------------------------------------------------
 
@@ -120,36 +155,193 @@ class KernelRunner:
 
     def run(self, state: SimulationState, n_steps: int, dt: float = 0.01,
             stimulus: Optional[Stimulus] = None,
-            record_vm: bool = False) -> RunResult:
-        """Run the two-stage simulation for ``n_steps`` steps of ``dt``."""
-        trace = np.empty(n_steps) if record_vm else None
+            record_vm: bool = False, watchdog=None,
+            step_hook: Optional[Callable[[SimulationState], None]] = None
+            ) -> RunResult:
+        """Run the two-stage simulation for ``n_steps`` steps of ``dt``.
+
+        With ``watchdog`` set (a ``WatchdogConfig`` or
+        ``NumericalWatchdog``), the run is guarded: state is scanned
+        for NaN/Inf every ``check_interval`` steps and the configured
+        policy (raise / halve_dt / abort_cell_report) applies; the
+        result then carries a ``health`` report.
+        """
+        if watchdog is not None:
+            return self._run_guarded(state, n_steps, dt, stimulus,
+                                     record_vm, watchdog, step_hook)
+        has_vm = "Vm" in state.externals
+        trace = np.empty(n_steps) if record_vm and has_vm else None
         start = _time.perf_counter()
         for step in range(n_steps):
             self.compute_step(state, dt)
             self.solver_step(state, dt, stimulus)
             state.time += dt
             state.steps_done += 1
-            if record_vm and "Vm" in state.externals:
+            if trace is not None:
                 trace[step] = state.externals["Vm"][0]
+            if step_hook is not None:
+                step_hook(state)
         elapsed = _time.perf_counter() - start
         return RunResult(state=state, n_steps=n_steps, dt=dt,
                          elapsed_seconds=elapsed, vm_trace=trace)
 
+    # -- the guarded (watchdog) path ----------------------------------------------
+
+    def _run_guarded(self, state: SimulationState, n_steps: int, dt: float,
+                     stimulus: Optional[Stimulus], record_vm: bool,
+                     watchdog, step_hook) -> RunResult:
+        from ..resilience.diagnostics import DivergenceEvent
+        from ..resilience.watchdog import (NumericalDivergenceError,
+                                           NumericalWatchdog,
+                                           WatchdogConfig)
+        if isinstance(watchdog, NumericalWatchdog):
+            guard = watchdog
+        elif isinstance(watchdog, WatchdogConfig):
+            guard = NumericalWatchdog(watchdog)
+        else:
+            raise TypeError(f"watchdog must be a WatchdogConfig or "
+                            f"NumericalWatchdog, got {watchdog!r}")
+        config = guard.config
+        report = guard.new_report(dt)
+        has_vm = "Vm" in state.externals
+        trace: Optional[List[float]] = [] if record_vm and has_vm else None
+        target_time = state.time + n_steps * dt
+        eps = dt * 1e-9
+        checkpoint: StateCheckpoint = state.checkpoint()
+        trace_mark = 0
+        cur_dt = dt
+        executed = 0
+        start = _time.perf_counter()
+        while state.time < target_time - eps:
+            segment = 0
+            while segment < config.check_interval and \
+                    state.time < target_time - eps:
+                self.compute_step(state, cur_dt)
+                self.solver_step(state, cur_dt, stimulus)
+                state.time += cur_dt
+                state.steps_done += 1
+                executed += 1
+                segment += 1
+                if trace is not None:
+                    trace.append(state.externals["Vm"][0])
+                if step_hook is not None:
+                    step_hook(state)
+            report.checks += 1
+            bad = guard.scan(state)
+            if not bad:
+                checkpoint = state.checkpoint()
+                if trace is not None:
+                    trace_mark = len(trace)
+                continue
+            event = DivergenceEvent(step=state.steps_done, time=state.time,
+                                    dt=cur_dt, arrays=bad)
+            report.events.append(event)
+            report.ok = False
+            if config.policy == "raise":
+                report.final_dt = cur_dt
+                raise NumericalDivergenceError(
+                    f"non-finite values in {bad} at t={state.time:g} "
+                    f"(dt={cur_dt:g})", report)
+            if config.policy == "abort_cell_report":
+                report.diverged_cells = guard.diverged_cells(state)
+                state.restore(checkpoint)
+                if trace is not None:
+                    del trace[trace_mark:]
+                event.action = "aborted"
+                report.aborted = True
+                break
+            # halve_dt: bounded checkpoint-and-retry backoff
+            next_dt = cur_dt * config.dt_factor
+            if report.retries >= config.max_retries or \
+                    next_dt < config.min_dt:
+                report.final_dt = cur_dt
+                raise NumericalDivergenceError(
+                    f"divergence persisted after {report.retries} "
+                    f"dt-halving retries (dt={cur_dt:g}, arrays={bad})",
+                    report)
+            state.restore(checkpoint)
+            if trace is not None:
+                del trace[trace_mark:]
+            event.action = "rolled_back"
+            report.retries += 1
+            cur_dt = next_dt
+        elapsed = _time.perf_counter() - start
+        report.final_dt = cur_dt
+        report.ok = not report.aborted and not guard.scan(state)
+        return RunResult(state=state, n_steps=executed, dt=cur_dt,
+                         elapsed_seconds=elapsed,
+                         vm_trace=np.asarray(trace) if trace is not None
+                         else None,
+                         health=report)
+
     def simulate(self, n_cells: int, n_steps: int, dt: float = 0.01,
                  stimulus: Optional[Stimulus] = None,
                  perturbation: float = 0.0,
-                 record_vm: bool = False) -> RunResult:
+                 record_vm: bool = False, watchdog=None) -> RunResult:
         """Allocate, run, return — the one-call benchmark entry point."""
         state = self.make_state(n_cells, perturbation=perturbation)
-        return self.run(state, n_steps, dt, stimulus, record_vm)
+        return self.run(state, n_steps, dt, stimulus, record_vm,
+                        watchdog=watchdog)
+
+
+@dataclass
+class TrajectoryComparison:
+    """Result of :func:`compare_trajectories` — truthy when equivalent.
+
+    ``mismatches`` lists the state/external keys that disagree;
+    ``nan_keys`` the keys containing NaN in either snapshot (always
+    mismatches: two NaN-diverged runs must NOT compare equal).
+    """
+
+    equivalent: bool
+    mismatches: List[str] = field(default_factory=list)
+    nan_keys: List[str] = field(default_factory=list)
+    missing_keys: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+    def __str__(self) -> str:
+        return str(self.equivalent)      # drop-in for the old bool return
+
+    def describe(self) -> str:
+        if self.equivalent:
+            return "trajectories equivalent"
+        parts = []
+        if self.missing_keys:
+            parts.append(f"keys only on one side: "
+                         f"{', '.join(self.missing_keys)}")
+        if self.mismatches:
+            parts.append(f"mismatched: {', '.join(self.mismatches)}")
+        if self.nan_keys:
+            parts.append(f"NaN present in: {', '.join(self.nan_keys)}")
+        return "trajectories differ (" + "; ".join(parts) + ")"
 
 
 def compare_trajectories(a: SimulationState, b: SimulationState,
-                         rtol: float = 1e-9, atol: float = 1e-11) -> bool:
-    """True when two runs' states and externals agree within tolerance."""
+                         rtol: float = 1e-9, atol: float = 1e-11
+                         ) -> TrajectoryComparison:
+    """Compare two runs' states and externals within tolerance.
+
+    Returns a truthy :class:`TrajectoryComparison`.  Any NaN in either
+    snapshot makes its key a mismatch — two diverged runs never
+    "agree" — and the mismatching keys are reported so the watchdog's
+    health report (and ``limpet-bench compare``) can say *what*
+    disagreed, not just that something did.
+    """
     snap_a, snap_b = a.snapshot(), b.snapshot()
-    if snap_a.keys() != snap_b.keys():
-        return False
-    return all(np.allclose(snap_a[k], snap_b[k], rtol=rtol, atol=atol,
-                           equal_nan=True)
-               for k in snap_a)
+    missing = sorted(set(snap_a) ^ set(snap_b))
+    mismatches: List[str] = []
+    nan_keys: List[str] = []
+    for key in sorted(set(snap_a) & set(snap_b)):
+        va, vb = snap_a[key], snap_b[key]
+        has_nan = bool((~np.isfinite(va)).any() or (~np.isfinite(vb)).any())
+        if has_nan:
+            nan_keys.append(key)
+            mismatches.append(key)
+        elif not np.allclose(va, vb, rtol=rtol, atol=atol):
+            mismatches.append(key)
+    equivalent = not missing and not mismatches
+    return TrajectoryComparison(equivalent=equivalent,
+                                mismatches=mismatches, nan_keys=nan_keys,
+                                missing_keys=missing)

@@ -18,6 +18,20 @@ from ..frontend.model import IonicModel
 
 
 @dataclass
+class StateCheckpoint:
+    """A deep copy of everything :meth:`SimulationState.restore` needs.
+
+    Taken by the numerical watchdog at every healthy scan so a diverged
+    segment can be rolled back and retried with a smaller dt.
+    """
+
+    sv: np.ndarray
+    externals: Dict[str, np.ndarray]
+    time: float
+    steps_done: int
+
+
+@dataclass
 class SimulationState:
     """All mutable arrays of one simulation."""
 
@@ -51,6 +65,25 @@ class SimulationState:
 
     def external(self, name: str) -> np.ndarray:
         return self.externals[name][:self.n_cells]
+
+    # -- checkpoint/restore --------------------------------------------------------
+
+    def checkpoint(self) -> StateCheckpoint:
+        """Deep-copy the mutable arrays + clock for later :meth:`restore`."""
+        return StateCheckpoint(
+            sv=self.sv.copy(),
+            externals={k: v.copy() for k, v in self.externals.items()},
+            time=self.time, steps_done=self.steps_done)
+
+    def restore(self, checkpoint: StateCheckpoint) -> None:
+        """Roll back to ``checkpoint`` in place (buffers keep identity,
+        so a compiled kernel holding no stale references is required —
+        the runner passes arrays per call, which satisfies that)."""
+        self.sv[...] = checkpoint.sv
+        for name, saved in checkpoint.externals.items():
+            self.externals[name][...] = saved
+        self.time = checkpoint.time
+        self.steps_done = checkpoint.steps_done
 
     def snapshot(self) -> Dict[str, np.ndarray]:
         """State + externals as plain arrays (for comparisons/tests)."""

@@ -93,3 +93,57 @@ class TestFigures:
         assert code == 0
         assert "GrandiPanditVoigt" in out
         assert "760 GFlops/s" in out
+
+
+class TestResilientRun:
+    def test_foreign_model_falls_back_with_exit_code(self, capsys):
+        from repro.cli import EXIT_FELL_BACK
+        code, out = run_cli(capsys, "run", "ARPF", "--cells", "8",
+                            "--steps", "5")
+        assert code == EXIT_FELL_BACK
+        assert "[baseline" in out
+        assert "fell back to 'baseline'" in out
+        assert "UnsupportedModelError" in out
+
+    def test_strict_disables_fallback(self, capsys):
+        from repro.cli import EXIT_COMPILE_FAILED
+        code, _ = run_cli(capsys, "run", "ARPF", "--cells", "8",
+                          "--steps", "5", "--strict")
+        assert code == EXIT_COMPILE_FAILED
+
+    def test_watchdog_flag_prints_health(self, capsys):
+        code, out = run_cli(capsys, "run", "Plonsey", "--cells", "8",
+                            "--steps", "20", "--watchdog", "halve_dt")
+        assert code == 0
+        assert "health: ok" in out
+
+    def test_baseline_request_is_not_a_fallback(self, capsys):
+        code, out = run_cli(capsys, "run", "ARPF", "--cells", "8",
+                            "--steps", "5", "--backend", "baseline")
+        assert code == 0
+        assert "fell back" not in out
+
+    def test_no_trailing_assertion_dispatch(self):
+        """Every declared subcommand dispatches via argparse defaults."""
+        from repro.cli import build_parser
+        parser = build_parser()
+        args = parser.parse_args(["list"])
+        assert callable(args.func)
+
+
+class TestFaultsCommand:
+    def test_smoke_drill_passes(self, capsys):
+        code, out = run_cli(capsys, "faults", "--smoke")
+        assert code == 0
+        assert "5/5 scenarios passed" in out
+        assert "PASS pass-exception" in out
+        assert "PASS runtime-nan" in out
+        assert "PASS sweep" in out
+
+    def test_reproducer_dir_is_honored(self, capsys, tmp_path):
+        code, _ = run_cli(capsys, "faults", "--smoke",
+                          "--reproducer-dir", str(tmp_path))
+        assert code == 0
+        bundles = list(tmp_path.iterdir())
+        assert bundles, "no reproducer bundles written"
+        assert any((b / "meta.json").exists() for b in bundles)

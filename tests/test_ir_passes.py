@@ -318,3 +318,164 @@ class TestPassManager:
         r1 = raw.simulate(32, 200, 0.01, perturbation=0.01)
         r2 = opt.simulate(32, 200, 0.01, perturbation=0.01)
         assert compare_trajectories(r1.state, r2.state, rtol=1e-12)
+
+    def test_fixed_point_stops_at_max_iterations(self):
+        from repro.ir.passes.pass_manager import Pass
+
+        class Churn(Pass):
+            name = "churn"
+
+            def run(self, module):
+                return True             # never converges
+
+        module, _ = build_module()
+        fn, b = make_func(module, results=())
+        func.ret(b)
+        pm = PassManager([Churn()], verify_each=False, max_iterations=3)
+        assert pm.run(module, fixed_point=True)
+        assert pm.statistics["churn"].runs == 3
+
+    def test_single_run_ignores_max_iterations(self):
+        from repro.ir.passes.pass_manager import Pass
+
+        class Churn(Pass):
+            name = "churn"
+
+            def run(self, module):
+                return True
+
+        module, _ = build_module()
+        fn, b = make_func(module, results=())
+        func.ret(b)
+        pm = PassManager([Churn()], verify_each=False, max_iterations=5)
+        pm.run(module, fixed_point=False)
+        assert pm.statistics["churn"].runs == 1
+
+    def test_statistics_account_runs_changed_and_time(self):
+        from repro.ir.passes.pass_manager import Pass
+
+        class Alternating(Pass):
+            name = "alternating"
+
+            def __init__(self):
+                self.calls = 0
+
+            def run(self, module):
+                self.calls += 1
+                return self.calls == 1  # changes once, then stabilizes
+
+        module, _ = build_module()
+        fn, b = make_func(module, results=())
+        func.ret(b)
+        pm = PassManager([Alternating()], verify_each=False)
+        pm.run(module, fixed_point=True)
+        stats = pm.statistics["alternating"]
+        assert stats.runs == 2          # change round + stable round
+        assert stats.changed == 1
+        assert stats.seconds >= 0.0
+
+    def test_verify_each_failure_propagates(self):
+        from repro.ir.core import Operation
+        from repro.ir.passes.pass_manager import Pass
+        from repro.ir.verifier import VerificationError
+
+        class Corrupter(Pass):
+            name = "corrupter"
+
+            def run(self, module):
+                module.append(Operation("bogus.op"))
+                return True
+
+        module, _ = build_module()
+        fn, b = make_func(module, results=())
+        func.ret(b)
+        pm = PassManager([Corrupter()], verify_each=True)
+        with pytest.raises(VerificationError):
+            pm.run(module)
+
+    def test_pass_exception_propagates_without_sandbox(self):
+        from repro.ir.passes.pass_manager import Pass
+
+        class Boom(Pass):
+            name = "boom"
+
+            def run(self, module):
+                raise RuntimeError("kaboom")
+
+        module, _ = build_module()
+        fn, b = make_func(module, results=())
+        func.ret(b)
+        with pytest.raises(RuntimeError, match="kaboom"):
+            PassManager([Boom()]).run(module)
+
+
+class TestSandboxedPassManager:
+    """The resilience-layer sandbox: quarantine + rollback + reproducer."""
+
+    def _make_module(self):
+        module, _ = build_module()
+        fn, b = make_func(module)
+        c1 = b.constant(1.0, f64)
+        v = arith.mulf(b, fn.args[0], c1)   # foldable work for the passes
+        func.ret(b, [arith.addf(b, v, v)])
+        return module
+
+    def test_faulty_pass_quarantined_and_module_intact(self, tmp_path):
+        from repro.ir import print_module, verify_module
+        from repro.resilience import (FaultInjector, FaultPlan,
+                                      SandboxedPassManager)
+
+        module = self._make_module()
+        pm = SandboxedPassManager([Canonicalize(), CSE(), DCE()],
+                                  reproducer_dir=tmp_path)
+        FaultInjector(FaultPlan(fail_pass="cse")).wrap_pipeline(pm)
+        pm.run(module, fixed_point=True)
+        assert pm.quarantined == {"cse"}
+        verify_module(module)
+        # the surviving passes still did their work
+        assert "arith.mulf" not in print_module(module)
+
+    def test_quarantined_pass_skipped_in_later_rounds(self, tmp_path):
+        from repro.resilience import (FaultInjector, FaultPlan,
+                                      SandboxedPassManager)
+
+        module = self._make_module()
+        pm = SandboxedPassManager([Canonicalize(), CSE(), DCE()],
+                                  reproducer_dir=tmp_path,
+                                  max_iterations=8)
+        FaultInjector(FaultPlan(fail_pass="cse")).wrap_pipeline(pm)
+        pm.run(module, fixed_point=True)
+        assert pm.statistics["cse"].runs == 1   # never re-entered
+
+    def test_reproducer_written_and_loadable(self, tmp_path):
+        from repro.ir import verify_module
+        from repro.resilience import (FaultInjector, FaultPlan,
+                                      SandboxedPassManager,
+                                      load_reproducer)
+
+        module = self._make_module()
+        pm = SandboxedPassManager([Canonicalize(), CSE()],
+                                  reproducer_dir=tmp_path)
+        FaultInjector(FaultPlan(fail_pass="canonicalize")).wrap_pipeline(pm)
+        pm.run(module)
+        [bundle] = pm.reproducers
+        reloaded, meta = load_reproducer(bundle)
+        verify_module(reloaded)
+        assert meta["pass"] == "canonicalize"
+        assert meta["pipeline_position"] == 0
+
+    def test_verify_failure_rolls_back(self, tmp_path):
+        from repro.ir import print_module, verify_module
+        from repro.resilience import (FaultInjector, FaultPlan,
+                                      SandboxedPassManager)
+
+        module = self._make_module()
+        before = print_module(module)
+        pm = SandboxedPassManager([Canonicalize()],
+                                  reproducer_dir=tmp_path)
+        FaultInjector(FaultPlan(
+            corrupt_after_pass="canonicalize")).wrap_pipeline(pm)
+        pm.run(module)
+        verify_module(module)
+        assert print_module(module) == before   # rolled back exactly
+        assert [d.stage for d in pm.diagnostics] == ["verify"]
