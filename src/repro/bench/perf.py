@@ -1,0 +1,226 @@
+"""Measured before/after comparison for the PR2 performance layer.
+
+Times four variants of the same simulation on the same machine:
+
+* ``baseline``     — unfused lowering, no cache (the pre-PR hot path);
+* ``fused``        — fused expression lowering;
+* ``fused_cached`` — fused lowering built from a warm persistent
+  kernel cache (construction skips passes/verify/lowering);
+* ``sharded``      — fused lowering executed by a
+  :class:`~repro.runtime.sharded.ShardedRunner` on N threads.
+
+Each variant reports construction time (pipeline + verify + lowering,
+or a cache hit) and run time (the paper's 5-run drop-extrema protocol)
+separately, because the cache helps the former and fusion/sharding the
+latter.  Speedups compare **total** time — a sweep over many models
+pays both — plus a run-only column for the compute-stage story.
+
+``perf_report`` additionally differential-checks every variant's
+trajectory against the baseline before timing anything: a performance
+number for a kernel that diverges is worthless.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+from ..codegen import generate_limpet_mlir
+from ..models import load_model
+from ..runtime import (KernelCache, KernelRunner, ShardedRunner,
+                       compare_trajectories)
+from .timing import trimmed_mean
+
+#: the canonical benchmark config (CI and README numbers use these).
+#: OHara is the paper's flagship Markov/backward-Euler model and the
+#: one where per-op vector temporaries hurt the most.
+CANONICAL_MODEL = "OHara"
+CANONICAL_CELLS = 4096
+CANONICAL_STEPS = 100
+CANONICAL_DT = 0.01
+
+
+@dataclass
+class PerfVariant:
+    """One timed variant of the benchmark config."""
+
+    name: str
+    construct_seconds: float
+    run_seconds: float
+    steps_per_second: float
+    cell_steps_per_second: float
+    cache_hit: bool = False
+    threads: int = 1
+
+    @property
+    def total_seconds(self) -> float:
+        return self.construct_seconds + self.run_seconds
+
+    def as_dict(self) -> Dict:
+        data = asdict(self)
+        data["total_seconds"] = self.total_seconds
+        return data
+
+
+def _timed_construct(factory):
+    """(runner, seconds) for one runner construction."""
+    import time
+    start = time.perf_counter()
+    runner = factory()
+    return runner, time.perf_counter() - start
+
+
+def _timed_run(runner, n_cells: int, n_steps: int, dt: float,
+               runs: int = 5) -> PerfVariant:
+    """Time ``runner`` with the paper's 5-run drop-extrema protocol.
+
+    Each run gets a fresh state (so every sample walks the same
+    trajectory); allocation happens outside the timed region — the
+    runner's own ``elapsed_seconds`` covers only the stepped loop.
+    """
+    samples = []
+    for _ in range(runs):
+        state = runner.make_state(n_cells)
+        samples.append(runner.run(state, n_steps, dt).elapsed_seconds)
+    seconds = trimmed_mean(samples)
+    return PerfVariant(
+        name="", construct_seconds=0.0, run_seconds=seconds,
+        steps_per_second=n_steps / max(seconds, 1e-12),
+        cell_steps_per_second=n_steps * n_cells / max(seconds, 1e-12))
+
+
+def perf_report(model_name: str = CANONICAL_MODEL,
+                n_cells: int = CANONICAL_CELLS,
+                n_steps: int = CANONICAL_STEPS,
+                dt: float = CANONICAL_DT,
+                threads: int = 4,
+                cache: Optional[KernelCache] = None,
+                runs: int = 5,
+                check_steps: int = 40,
+                check_cells: int = 16) -> Dict:
+    """Build the BENCH_PR2 report dict for one model/config.
+
+    ``cache`` defaults to the process default cache; pass a dedicated
+    :class:`KernelCache` to keep benchmark entries out of it.
+    """
+    model = load_model(model_name)
+
+    def gen():
+        return generate_limpet_mlir(load_model(model_name))
+
+    # -- differential gate: all variants must agree before we time anything
+    ref = KernelRunner(gen(), fuse=False).simulate(check_cells, check_steps,
+                                                   dt).state
+    fused_state = KernelRunner(gen()).simulate(check_cells, check_steps,
+                                               dt).state
+    with ShardedRunner(gen(), n_threads=threads) as sharded_check:
+        sharded_state = sharded_check.simulate(check_cells, check_steps,
+                                               dt).state
+    for label, state in (("fused", fused_state), ("sharded", sharded_state)):
+        verdict = compare_trajectories(ref, state)
+        if not verdict:
+            raise AssertionError(
+                f"{label} lowering diverged from unfused baseline on "
+                f"{model_name}: {verdict.describe()}")
+
+    # -- baseline: unfused, uncached
+    runner, construct = _timed_construct(
+        lambda: KernelRunner(gen(), fuse=False))
+    baseline = _timed_run(runner, n_cells, n_steps, dt, runs)
+    baseline.name = "baseline"
+    baseline.construct_seconds = construct
+
+    # -- fused
+    runner, construct = _timed_construct(lambda: KernelRunner(gen()))
+    fused = _timed_run(runner, n_cells, n_steps, dt, runs)
+    fused.name = "fused"
+    fused.construct_seconds = construct
+
+    # -- fused + warm persistent cache
+    the_cache = cache if cache is not None else True
+    KernelRunner(gen(), cache=the_cache)          # warm the entry
+    runner, construct = _timed_construct(
+        lambda: KernelRunner(gen(), cache=the_cache))
+    fused_cached = _timed_run(runner, n_cells, n_steps, dt, runs)
+    fused_cached.name = "fused_cached"
+    fused_cached.construct_seconds = construct
+    fused_cached.cache_hit = runner.cache_hit
+
+    # -- sharded (fused, N threads)
+    runner, construct = _timed_construct(
+        lambda: ShardedRunner(gen(), n_threads=threads))
+    try:
+        sharded = _timed_run(runner, n_cells, n_steps, dt, runs)
+    finally:
+        runner.close()
+    sharded.name = "sharded"
+    sharded.construct_seconds = construct
+    sharded.threads = threads
+
+    variants = [baseline, fused, fused_cached, sharded]
+    base_total = baseline.total_seconds
+    base_run = baseline.run_seconds
+    speedups = {
+        v.name: {"total": base_total / max(v.total_seconds, 1e-12),
+                 "run": base_run / max(v.run_seconds, 1e-12)}
+        for v in variants}
+    speedups["sharded"]["vs_fused_run"] = (
+        fused.run_seconds / max(sharded.run_seconds, 1e-12))
+    return {
+        "benchmark": "BENCH_PR2",
+        "config": {"model": model_name, "n_cells": n_cells,
+                   "n_steps": n_steps, "dt": dt, "threads": threads,
+                   "runs": runs, "n_states": len(model.states)},
+        "machine": {"platform": platform.platform(),
+                    "python": platform.python_version(),
+                    "available_cpus": os.cpu_count() or 1},
+        "differential": "all variants match unfused baseline "
+                        "(NaN-strict compare_trajectories)",
+        "variants": [v.as_dict() for v in variants],
+        "speedups_vs_baseline": speedups,
+    }
+
+
+def write_report(report: Dict, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+def check_report(report: Dict) -> List[str]:
+    """Sanity assertions for CI: returns a list of failures (empty=ok).
+
+    Thresholds are deliberately loose — CI machines are noisy — but a
+    fused kernel slower than the unfused one, or a cache-hit build
+    slower than a full pipeline build, indicates a real regression.
+    """
+    failures = []
+    speedups = report["speedups_vs_baseline"]
+    variants = {v["name"]: v for v in report["variants"]}
+    if speedups["fused"]["run"] < 1.0:
+        failures.append(
+            f"fused run slower than unfused baseline: "
+            f"{speedups['fused']['run']:.3f}x")
+    if not variants["fused_cached"]["cache_hit"]:
+        failures.append("fused_cached variant did not hit the cache")
+    if variants["fused_cached"]["construct_seconds"] >= \
+            variants["baseline"]["construct_seconds"]:
+        failures.append(
+            "cache-hit construction not faster than full pipeline "
+            f"({variants['fused_cached']['construct_seconds']:.4f}s vs "
+            f"{variants['baseline']['construct_seconds']:.4f}s)")
+    # Thread scaling needs parallel hardware: on a single-CPU machine
+    # extra shards can only add overhead, so only assert it when the
+    # box can actually run shards concurrently.
+    cpus = report["machine"].get("available_cpus", 1)
+    threads = report["config"]["threads"]
+    if cpus >= 2 and threads >= 2 and \
+            speedups["sharded"]["vs_fused_run"] <= 1.0:
+        failures.append(
+            f"sharded ({threads}T on {cpus} cpus) not faster than "
+            f"single-thread fused: "
+            f"{speedups['sharded']['vs_fused_run']:.3f}x")
+    return failures

@@ -171,6 +171,43 @@ def figure_roofline(n_cells: int = 8192, threads: int = 32,
 
 
 # ---------------------------------------------------------------------------
+# BENCH_PR2 — measured performance-layer comparison
+# ---------------------------------------------------------------------------
+
+
+def format_perf_table(report: Dict) -> str:
+    """Render a :func:`repro.bench.perf.perf_report` dict as a table.
+
+    Throughput columns come from the runner's
+    :class:`~repro.runtime.executor.RunResult` units
+    (``steps_per_second`` / ``cell_steps_per_second``).
+    """
+    cfg = report["config"]
+    machine = report.get("machine", {})
+    speedups = report["speedups_vs_baseline"]
+    lines = [
+        f"BENCH_PR2 — {cfg['model']}: {cfg['n_cells']} cells x "
+        f"{cfg['n_steps']} steps, dt={cfg['dt']}, "
+        f"{cfg['threads']} threads "
+        f"({machine.get('available_cpus', '?')} cpus available)",
+        f"{'variant':<14} {'construct':>11} {'run':>11} {'total':>11} "
+        f"{'Mcell-steps/s':>14} {'speedup':>8}",
+    ]
+    for v in report["variants"]:
+        total = v["construct_seconds"] + v["run_seconds"]
+        lines.append(
+            f"{v['name']:<14} {v['construct_seconds'] * 1e3:>9.1f}ms "
+            f"{v['run_seconds'] * 1e3:>9.1f}ms {total * 1e3:>9.1f}ms "
+            f"{v['cell_steps_per_second'] / 1e6:>14.2f} "
+            f"{speedups[v['name']]['total']:>7.2f}x")
+    extra = speedups.get("sharded", {}).get("vs_fused_run")
+    if extra is not None:
+        lines.append(f"sharded vs fused (run only): {extra:.2f}x "
+                     f"at {cfg['threads']} threads")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
 # §4.4 / §5 — sweep statistics
 # ---------------------------------------------------------------------------
 

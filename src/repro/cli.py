@@ -149,6 +149,40 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("fig2", "fig3", "fig4", "fig5", "fig6"))
     figure.set_defaults(func=lambda args: cmd_figure(args.which))
 
+    perf = sub.add_parser(
+        "perf", help="measured performance-layer comparison "
+                     "(baseline / fused / fused+cached / sharded)")
+    perf.add_argument("--model", default=None, metavar="MODEL",
+                      choices=ALL_MODELS,
+                      help="model to benchmark (default: the canonical "
+                           "config's model)")
+    perf.add_argument("--cells", type=_positive_int, default=None)
+    perf.add_argument("--steps", type=_positive_int, default=None)
+    perf.add_argument("--dt", type=_positive_float, default=None)
+    perf.add_argument("--threads", type=_positive_int, default=4,
+                      help="shard count for the sharded variant")
+    perf.add_argument("--runs", type=_positive_int, default=5,
+                      help="timing runs per variant (paper protocol: 5)")
+    perf.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the report as JSON (BENCH_PR2)")
+    perf.add_argument("--check", action="store_true",
+                      help="fail (exit 1) unless fused >= unfused and "
+                           "the cache hit sped up construction")
+    perf.set_defaults(func=lambda args: cmd_perf(
+        args.model, args.cells, args.steps, args.dt, args.threads,
+        args.runs, args.json, args.check))
+
+    cache_stats = sub.add_parser(
+        "cache-stats", help="kernel-cache and LUT-cache statistics")
+    cache_stats.add_argument("--cache-dir", default=None,
+                             help="kernel cache directory (default: "
+                                  "$LIMPET_CACHE_DIR or "
+                                  "~/.cache/limpet-repro/kernels)")
+    cache_stats.add_argument("--clear", action="store_true",
+                             help="delete all cached kernel entries")
+    cache_stats.set_defaults(func=lambda args: cmd_cache_stats(
+        args.cache_dir, args.clear))
+
     faults = sub.add_parser(
         "faults", help="fault-injection drill for the resilience layer")
     faults.add_argument("--smoke", action="store_true",
@@ -298,6 +332,64 @@ def cmd_figure(which: str) -> int:
         points, ceilings = figure_roofline()
         print("Fig. 6 — roofline, 32 cores AVX-512 (modeled testbed)")
         print(format_roofline_table(points, ceilings))
+    return EXIT_OK
+
+
+def cmd_perf(model: Optional[str], cells: Optional[int],
+             steps: Optional[int], dt: Optional[float], threads: int,
+             runs: int, json_path: Optional[str], check: bool) -> int:
+    from .bench.perf import (CANONICAL_CELLS, CANONICAL_DT,
+                             CANONICAL_MODEL, CANONICAL_STEPS,
+                             check_report, perf_report, write_report)
+    from .bench.report import format_perf_table
+    report = perf_report(model_name=model or CANONICAL_MODEL,
+                         n_cells=cells or CANONICAL_CELLS,
+                         n_steps=steps or CANONICAL_STEPS,
+                         dt=dt or CANONICAL_DT,
+                         threads=threads, runs=runs)
+    print(format_perf_table(report))
+    if json_path:
+        write_report(report, json_path)
+        print(f"report written to {json_path}")
+    if check:
+        failures = check_report(report)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        if failures:
+            return EXIT_FAILURE
+        print("checks passed: fused >= unfused, cache hit sped up "
+              "construction")
+    return EXIT_OK
+
+
+def cmd_cache_stats(cache_dir: Optional[str], clear: bool) -> int:
+    from .runtime.kernel_cache import KernelCache, default_cache_dir
+    root = cache_dir or default_cache_dir()
+    cache = KernelCache(root)
+    if clear:
+        removed = cache.clear()
+        print(f"cleared {removed} cached kernel(s) from {root}")
+    stats = cache.persistent_stats()
+    print(f"kernel cache [{root}]")
+    print(f"  entries:   {stats.entries}")
+    print(f"  bytes:     {stats.bytes}")
+    print(f"  hits:      {stats.hits}")
+    print(f"  misses:    {stats.misses}")
+    print(f"  evictions: {stats.evictions}")
+    # The LUT cache is per-runner and dt-keyed; show what one runner
+    # holds after a representative build so its footprint is visible.
+    from .codegen import generate_limpet_mlir
+    from .runtime import KernelRunner
+    runner = KernelRunner(generate_limpet_mlir(load_model("LuoRudy91")))
+    runner.luts_for(0.01)
+    lut = runner.lut_cache_stats()
+    print("LUT cache (per-runner, dt-keyed; shown for LuoRudy91 @ "
+          "dt=0.01)")
+    print(f"  entries:   {lut['entries']}")
+    print(f"  bytes:     {lut['bytes']}")
+    print(f"  hits:      {lut['hits']}")
+    print(f"  misses:    {lut['misses']}")
+    print(f"  evictions: {lut['evictions']}")
     return EXIT_OK
 
 

@@ -80,6 +80,43 @@ def _remf(a, b):
         return np.fmod(a, b)
 
 
+def trunc_div(a, b):
+    """C-style truncating signed integer division.
+
+    Stays in integer arithmetic end to end — no float round trip, so
+    results are exact for |operands| > 2^53.  Division by zero yields 0
+    (C leaves it undefined; the engines must simply agree).
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a = np.asarray(a)
+        b = np.asarray(b)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            quot = np.floor_divide(a, b)
+            rem = a - quot * b
+            # floor -> trunc: bump toward zero when signs differ
+            quot = quot + ((rem != 0) & ((a < 0) != (b < 0)))
+        return np.where(b == 0, 0, quot)
+    if b == 0:
+        return 0
+    quot = abs(a) // abs(b)
+    return quot if (a < 0) == (b < 0) else -quot
+
+
+def trunc_rem(a, b):
+    """C-style signed integer remainder: a - trunc_div(a, b) * b.
+
+    Integer-typed for integer operands (``math.fmod`` would return a
+    float); satisfies (a/b)*b + a%b == a like C99.
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a = np.asarray(a)
+        b = np.asarray(b)
+        return np.where(np.asarray(b) == 0, 0, a - trunc_div(a, b) * b)
+    if b == 0:
+        return 0
+    return a - trunc_div(a, b) * b
+
+
 _register_binary("arith.addf", operator.add, _require_float, commutative=True)
 _register_binary("arith.subf", operator.sub, _require_float)
 _register_binary("arith.mulf", operator.mul, _require_float, commutative=True)
@@ -90,8 +127,8 @@ _register_binary("arith.minimumf", np.minimum, _require_float, commutative=True)
 _register_binary("arith.addi", operator.add, _require_int, commutative=True)
 _register_binary("arith.subi", operator.sub, _require_int)
 _register_binary("arith.muli", operator.mul, _require_int, commutative=True)
-_register_binary("arith.divsi", lambda a, b: np.trunc(np.divide(a, b)).astype(np.int64) if isinstance(a, np.ndarray) else int(a / b) if b else 0, _require_int)
-_register_binary("arith.remsi", np.fmod, _require_int)
+_register_binary("arith.divsi", trunc_div, _require_int)
+_register_binary("arith.remsi", trunc_rem, _require_int)
 _register_binary("arith.andi", operator.and_, _require_int, commutative=True)
 _register_binary("arith.ori", operator.or_, _require_int, commutative=True)
 _register_binary("arith.xori", operator.xor, _require_int, commutative=True)

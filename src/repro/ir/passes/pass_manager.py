@@ -20,6 +20,9 @@ class Pass:
     """Base class: subclasses set ``name`` and implement ``run``."""
 
     name: str = "<unnamed>"
+    #: bump when a pass's transformation changes semantics/output — the
+    #: persistent kernel cache keys on every pass's (name, version)
+    version: int = 1
 
     def run(self, module: Module) -> bool:
         """Transform ``module`` in place; return True if anything changed."""
@@ -48,6 +51,19 @@ class PassManager:
     def add(self, pass_: Pass) -> "PassManager":
         self.passes.append(pass_)
         return self
+
+    def fingerprint(self) -> str:
+        """A stable content-address of this pipeline's behaviour.
+
+        Any change to the pass list, a pass version, the iteration
+        budget or per-pass verification yields a different string, so
+        the persistent kernel cache can never serve a kernel produced
+        by a different pipeline.
+        """
+        stages = ",".join(f"{p.name}@{getattr(p, 'version', 1)}"
+                          for p in self.passes)
+        return (f"[{stages}];iters={self.max_iterations};"
+                f"verify_each={self.verify_each}")
 
     def run(self, module: Module, fixed_point: bool = False) -> bool:
         """Run the pipeline once (or until stable); return overall change."""

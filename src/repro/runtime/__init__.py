@@ -2,7 +2,12 @@
 
 from .executor import (KernelRunner, RunResult, Stimulus,
                        TrajectoryComparison, compare_trajectories)
-from .lowering import CompiledKernel, LoweringError, lower_function
+from .lowering import (LOWERING_VERSION, BufferArena, CompiledKernel,
+                       LoweringError, compile_kernel_source,
+                       lower_function)
+from .kernel_cache import (CacheStats, KernelCache, default_cache,
+                           default_cache_dir, kernel_cache_key)
+from .sharded import ShardedRunner, shard_bounds
 from .lut_runtime import (LUTData, build_all_luts, build_lut,
                           lut_interp_row, lut_interp_row_vec)
 from .state import SimulationState, StateCheckpoint, allocate_state
@@ -13,7 +18,11 @@ from .interpreter import Interpreter, InterpreterError, interpret_kernel
 
 __all__ = ["KernelRunner", "RunResult", "Stimulus", "TrajectoryComparison",
            "compare_trajectories",
-           "CompiledKernel", "LoweringError", "lower_function", "LUTData",
+           "CompiledKernel", "LoweringError", "lower_function",
+           "LOWERING_VERSION", "BufferArena", "compile_kernel_source",
+           "CacheStats", "KernelCache", "default_cache",
+           "default_cache_dir", "kernel_cache_key",
+           "ShardedRunner", "shard_bounds", "LUTData",
            "build_all_luts", "build_lut", "lut_interp_row",
            "lut_interp_row_vec", "SimulationState", "StateCheckpoint",
            "allocate_state",

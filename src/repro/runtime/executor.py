@@ -30,7 +30,9 @@ from ..frontend.model import IonicModel
 from ..ir.passes import default_pipeline
 from ..ir.passes.pass_manager import PassManager
 from ..ir.verifier import verify_module
-from .lowering import CompiledKernel, lower_function
+from .kernel_cache import KernelCache, default_cache, kernel_cache_key
+from .lowering import (CompiledKernel, compile_kernel_source,
+                       lower_function)
 from .lut_runtime import LUTData, build_all_luts
 from .state import SimulationState, StateCheckpoint, allocate_state
 
@@ -67,6 +69,17 @@ class RunResult:
     def seconds_per_step(self) -> float:
         return self.elapsed_seconds / max(self.n_steps, 1)
 
+    @property
+    def steps_per_second(self) -> float:
+        """Executed time steps per wall-clock second."""
+        return self.n_steps / max(self.elapsed_seconds, 1e-12)
+
+    @property
+    def cell_steps_per_second(self) -> float:
+        """Cell·steps per second — the paper's throughput unit, which
+        stays comparable across cell counts."""
+        return self.steps_per_second * self.state.n_cells
+
 
 #: LUT tables are dt-dependent; adaptive-dt retries must neither rebuild
 #: tables for float-noise dt variations nor grow the cache unboundedly.
@@ -80,29 +93,82 @@ def _quantize_dt(dt: float) -> float:
 
 
 class KernelRunner:
-    """Owns one compiled kernel and runs simulations with it."""
+    """Owns one compiled kernel and runs simulations with it.
+
+    ``fuse`` enables fused expression lowering (single-use SSA values
+    inlined into compound expressions); ``arena`` additionally reuses
+    preallocated ``out=`` scratch buffers for vector statements (not
+    thread-safe — never combined with :class:`ShardedRunner`).
+
+    ``cache`` wires in the persistent kernel cache: pass a
+    :class:`~repro.runtime.kernel_cache.KernelCache`, or ``True`` for
+    the process-default cache dir.  On a hit, the pass pipeline,
+    verification and lowering are all skipped and the cached source is
+    compiled directly; ``self.cache_hit`` records which path ran.
+    """
 
     def __init__(self, generated: GeneratedKernel, optimize: bool = True,
                  verify: bool = True,
-                 pipeline: Optional[PassManager] = None):
+                 pipeline: Optional[PassManager] = None,
+                 fuse: bool = True, arena: bool = False,
+                 cache=None):
         self.generated = generated
         self.spec = generated.spec
         self.model: IonicModel = generated.spec.model
         self.layout = generated.layout
         self.pipeline = pipeline
-        if pipeline is not None:
-            pipeline.run(generated.module, fixed_point=True)
-        elif optimize:
-            default_pipeline(verify_each=False).run(generated.module,
-                                                    fixed_point=True)
-        if verify:
-            verify_module(generated.module)
-        self.kernel: CompiledKernel = lower_function(
-            generated.module, generated.spec.function_name)
+        self.fuse = fuse
+        self.arena = arena
+        self.cache: Optional[KernelCache] = (
+            default_cache() if cache is True else cache or None)
+        self.cache_hit = False
+        self.cache_key: Optional[str] = None
+        self.kernel: CompiledKernel = self._build_kernel(
+            optimize, verify, pipeline)
         # LUTs include dt-dependent Rush-Larsen columns: built lazily
         # for the dt of the first step, rebuilt if dt changes.  Keyed by
         # quantized dt, LRU-bounded so watchdog dt-halving cannot leak.
         self._lut_cache: "OrderedDict[float, List[LUTData]]" = OrderedDict()
+        self._lut_hits = 0
+        self._lut_misses = 0
+        self._lut_evictions = 0
+        # prebound compute_step arguments (rebuilt on state/dt/sv change)
+        self._bound: Optional[tuple] = None
+
+    def _build_kernel(self, optimize: bool, verify: bool,
+                      pipeline: Optional[PassManager]) -> CompiledKernel:
+        generated = self.generated
+        if pipeline is not None:
+            fingerprint = pipeline.fingerprint()
+        elif optimize:
+            pipeline = default_pipeline(verify_each=False)
+            fingerprint = pipeline.fingerprint()
+        else:
+            fingerprint = "none"
+        if self.cache is not None:
+            self.cache_key = kernel_cache_key(
+                generated, fingerprint, self.fuse, self.arena, verify)
+            payload = self.cache.load(self.cache_key)
+            if payload is not None:
+                self.cache_hit = True
+                return compile_kernel_source(
+                    payload["function_name"], payload["source"],
+                    payload["mode"], payload["width"],
+                    payload["arg_names"], fused=payload["fused"],
+                    arena=payload["arena"])
+        if pipeline is not None:
+            pipeline.run(generated.module, fixed_point=True)
+        if verify:
+            verify_module(generated.module)
+        kernel = lower_function(generated.module,
+                                generated.spec.function_name,
+                                fuse=self.fuse, arena=self.arena)
+        if self.cache is not None and self.cache_key is not None:
+            self.cache.store(self.cache_key, kernel.source, kernel.mode,
+                             kernel.width, kernel.arg_names,
+                             kernel.name, fused=kernel.fused,
+                             arena=kernel.arena is not None)
+        return kernel
 
     def luts_for(self, dt: float) -> List[LUTData]:
         if not self.spec.use_lut:
@@ -111,12 +177,24 @@ class KernelRunner:
         cached = self._lut_cache.get(key)
         if cached is not None:
             self._lut_cache.move_to_end(key)
+            self._lut_hits += 1
             return cached
         tables = build_all_luts(self.model, dt=dt)
         self._lut_cache[key] = tables
+        self._lut_misses += 1
         while len(self._lut_cache) > _LUT_CACHE_MAX:
             self._lut_cache.popitem(last=False)
+            self._lut_evictions += 1
         return tables
+
+    def lut_cache_stats(self) -> Dict[str, int]:
+        """hits/misses/evictions/entries/bytes for this runner's LUTs."""
+        nbytes = sum(lut.memory_bytes()
+                     for tables in self._lut_cache.values()
+                     for lut in tables)
+        return {"hits": self._lut_hits, "misses": self._lut_misses,
+                "evictions": self._lut_evictions,
+                "entries": len(self._lut_cache), "bytes": nbytes}
 
     # -- setup --------------------------------------------------------------------
 
@@ -130,12 +208,30 @@ class KernelRunner:
 
     # -- stepping ------------------------------------------------------------------
 
-    def compute_step(self, state: SimulationState, dt: float) -> None:
-        """One compute-stage invocation over all cells."""
+    def _bind_args(self, state: SimulationState, dt: float) -> list:
+        """The prebound compute_step argument list for ``(state, dt)``.
+
+        Rebuilt whenever the state object, dt, or the state-vector
+        buffer identity changes (``set_state`` rebinds ``state.sv``, so
+        a stale binding would silently step the old buffer).  External
+        arrays are mutated in place by the solver and restore paths, so
+        their identity is stable and safe to prebind.
+        """
+        bound = self._bound
+        if (bound is not None and bound[0] is state and bound[1] == dt
+                and bound[2] == id(state.sv)):
+            return bound[3]
         args = [0, state.n_alloc, dt, state.time, state.sv]
         args += [state.externals[ext] for ext in self.model.externals]
         if self.spec.use_lut:
             args += self.luts_for(dt)
+        self._bound = (state, dt, id(state.sv), args)
+        return args
+
+    def compute_step(self, state: SimulationState, dt: float) -> None:
+        """One compute-stage invocation over all cells."""
+        args = self._bind_args(state, dt)
+        args[3] = state.time
         self.kernel.fn(*args)
 
     def solver_step(self, state: SimulationState, dt: float,
@@ -171,16 +267,27 @@ class KernelRunner:
                                      record_vm, watchdog, step_hook)
         has_vm = "Vm" in state.externals
         trace = np.empty(n_steps) if record_vm and has_vm else None
+        compute = self.compute_step
+        solver = self.solver_step
         start = _time.perf_counter()
-        for step in range(n_steps):
-            self.compute_step(state, dt)
-            self.solver_step(state, dt, stimulus)
-            state.time += dt
-            state.steps_done += 1
-            if trace is not None:
-                trace[step] = state.externals["Vm"][0]
-            if step_hook is not None:
-                step_hook(state)
+        if trace is None and step_hook is None:
+            # hot path: no per-step branch checks at all
+            for _ in range(n_steps):
+                compute(state, dt)
+                solver(state, dt, stimulus)
+                state.time += dt
+                state.steps_done += 1
+        else:
+            vm = state.externals["Vm"] if trace is not None else None
+            for step in range(n_steps):
+                compute(state, dt)
+                solver(state, dt, stimulus)
+                state.time += dt
+                state.steps_done += 1
+                if trace is not None:
+                    trace[step] = vm[0]
+                if step_hook is not None:
+                    step_hook(state)
         elapsed = _time.perf_counter() - start
         return RunResult(state=state, n_steps=n_steps, dt=dt,
                          elapsed_seconds=elapsed, vm_trace=trace)

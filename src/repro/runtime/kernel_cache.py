@@ -1,0 +1,218 @@
+"""Persistent kernel cache: content-addressed lowered sources on disk.
+
+Constructing a :class:`~repro.runtime.executor.KernelRunner` normally
+pays for a full fixed-point pass pipeline, module verification, and
+lowering — per kernel, on every process.  For sweep workloads over the
+47-model suite that construction cost dominates short runs, so this
+module caches the *product* of that work (the lowered Python source
+plus its metadata) under a content address combining:
+
+* the generated module's printed IR (pre-pipeline) — any change to the
+  model source or code generator changes the text;
+* the kernel spec (backend mode, width, layout, LUT options);
+* the pass pipeline fingerprint
+  (:meth:`~repro.ir.passes.pass_manager.PassManager.fingerprint`);
+* the lowering version (:data:`~repro.runtime.lowering.LOWERING_VERSION`)
+  and the fuse/arena lowering flags.
+
+A hit skips passes, verification and lowering entirely: the cached
+source is exec'd directly.  Hit/miss/eviction counters persist in the
+cache directory (``stats.json``) so ``limpet-bench cache-stats`` can
+report across processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from ..ir.printer import print_module
+
+#: bump to invalidate every existing cache entry at once
+CACHE_FORMAT_VERSION = 1
+
+_ENV_DIR = "LIMPET_CACHE_DIR"
+_ENV_DISABLE = "LIMPET_KERNEL_CACHE"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache (in-memory view; persisted to disk)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+    bytes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return asdict(self)
+
+
+def kernel_cache_key(generated, pipeline_fingerprint: str,
+                     fuse: bool, arena: bool, verify: bool) -> str:
+    """Content address for one (module, spec, pipeline, lowering) point.
+
+    ``generated`` is a :class:`~repro.codegen.common.GeneratedKernel`
+    whose module has NOT been run through the pipeline yet — the
+    pipeline's effect is captured by its fingerprint instead, so the
+    key can be computed before any optimization work happens.
+    """
+    from .lowering import LOWERING_VERSION
+    spec = generated.spec
+    material = "\n".join([
+        f"format={CACHE_FORMAT_VERSION}",
+        f"model={spec.model.name}",
+        f"mode={spec.mode.value}",
+        f"width={spec.width}",
+        f"layout={generated.layout}",
+        f"use_lut={spec.use_lut}",
+        f"lut_interpolation={spec.lut_interpolation}",
+        f"function={spec.function_name}",
+        f"pipeline={pipeline_fingerprint}",
+        f"lowering=v{LOWERING_VERSION};fuse={fuse};arena={arena}",
+        f"verify={verify}",
+        "module:",
+        print_module(generated.module),
+    ])
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class KernelCache:
+    """A directory of content-addressed lowered-kernel entries.
+
+    Each entry is one JSON file ``<key>.json`` holding the lowered
+    source and the metadata :func:`~repro.runtime.lowering.compile_kernel_source`
+    needs.  The cache is LRU-bounded by entry count (file mtime is the
+    recency signal) and safe against corrupt entries (treated as a
+    miss and overwritten).
+    """
+
+    def __init__(self, root, max_entries: int = 512):
+        self.root = pathlib.Path(root)
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- entries -----------------------------------------------------------------
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Dict]:
+        """The cached payload for ``key``, or None (counts hit/miss)."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("format") != CACHE_FORMAT_VERSION:
+                raise ValueError("stale cache format")
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            self._bump("misses")
+            return None
+        path.touch()                      # refresh LRU recency
+        self.stats.hits += 1
+        self._bump("hits")
+        return payload
+
+    def store(self, key: str, source: str, mode: str, width: int,
+              arg_names: List[str], function_name: str,
+              fused: bool, arena: bool) -> None:
+        payload = {
+            "format": CACHE_FORMAT_VERSION,
+            "function_name": function_name,
+            "source": source,
+            "mode": mode,
+            "width": width,
+            "arg_names": list(arg_names),
+            "fused": fused,
+            "arena": arena,
+        }
+        tmp = self._path(key).with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        os.replace(tmp, self._path(key))
+        self._evict()
+
+    def _evict(self) -> None:
+        entries = sorted((p for p in self.root.glob("*.json")
+                          if p.name != "stats.json"),
+                         key=lambda p: p.stat().st_mtime)
+        excess = len(entries) - self.max_entries
+        for path in entries[:max(excess, 0)]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self.stats.evictions += 1
+            self._bump("evictions")
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            if path.name == "stats.json":
+                continue
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed
+
+    # -- statistics --------------------------------------------------------------
+
+    def _stats_path(self) -> pathlib.Path:
+        return self.root / "stats.json"
+
+    def _bump(self, counter: str) -> None:
+        """Increment one persistent counter (best-effort)."""
+        path = self._stats_path()
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            data = {}
+        data[counter] = int(data.get(counter, 0)) + 1
+        try:
+            path.write_text(json.dumps(data))
+        except OSError:
+            pass
+
+    def persistent_stats(self) -> CacheStats:
+        """Counters accumulated across every process using this dir."""
+        try:
+            data = json.loads(self._stats_path().read_text())
+        except (OSError, ValueError):
+            data = {}
+        entries = [p for p in self.root.glob("*.json")
+                   if p.name != "stats.json"]
+        return CacheStats(
+            hits=int(data.get("hits", 0)),
+            misses=int(data.get("misses", 0)),
+            evictions=int(data.get("evictions", 0)),
+            entries=len(entries),
+            bytes=sum(p.stat().st_size for p in entries))
+
+
+_DEFAULT_CACHE: Optional[KernelCache] = None
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$LIMPET_CACHE_DIR`` or ``~/.cache/limpet-repro/kernels``."""
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "limpet-repro" / "kernels"
+
+
+def default_cache() -> Optional[KernelCache]:
+    """The process-wide cache (None when ``LIMPET_KERNEL_CACHE=off``)."""
+    global _DEFAULT_CACHE
+    if os.environ.get(_ENV_DISABLE, "").lower() in ("off", "0", "no"):
+        return None
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = KernelCache(default_cache_dir())
+    return _DEFAULT_CACHE

@@ -21,18 +21,70 @@ inspection and tests.
 from __future__ import annotations
 
 import math
+import re
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..ir.core import Block, IRError, Module, Operation, Value
+from ..ir.dialects.arith import trunc_div, trunc_rem
 from .lut_runtime import (lut_interp_row, lut_interp_row_spline,
                           lut_interp_row_spline_vec, lut_interp_row_vec)
+
+#: bump whenever generated source semantics change — part of the
+#: persistent kernel cache key (repro.runtime.kernel_cache)
+LOWERING_VERSION = 2
+
+#: fused expressions deeper than this are materialized into a named
+#: temporary so generated lines stay readable and CPython's parser
+#: never sees pathologically nested expressions
+MAX_FUSE_DEPTH = 40
 
 
 class LoweringError(IRError):
     """Raised when an op has no lowering in the requested mode."""
+
+
+class BufferArena:
+    """Preallocated ``out=`` scratch buffers, reused across steps.
+
+    Each statement-emitted ufunc in an arena-enabled kernel owns one
+    slot; on every kernel invocation the op writes its result into the
+    slot's buffer instead of allocating a fresh NumPy temporary.  The
+    buffer is (re)allocated only when the operands' broadcast shape or
+    dtype changes (i.e. on the first step, or when the cell count
+    changes between runs).
+
+    Not thread-safe by design: slots alias across concurrent calls, so
+    the ShardedRunner always uses arena-free kernels.
+    """
+
+    __slots__ = ("_slots", "hits", "allocs")
+
+    def __init__(self):
+        self._slots: Dict[int, np.ndarray] = {}
+        self.hits = 0
+        self.allocs = 0
+
+    def out(self, slot: int, *operands) -> np.ndarray:
+        shape = np.broadcast_shapes(*(np.shape(o) for o in operands))
+        dtype = np.result_type(*operands)
+        buf = self._slots.get(slot)
+        if buf is not None and buf.shape == shape and buf.dtype == dtype:
+            self.hits += 1
+            return buf
+        buf = np.empty(shape, dtype=dtype)
+        self._slots[slot] = buf
+        self.allocs += 1
+        return buf
+
+    @property
+    def nbytes(self) -> int:
+        return sum(buf.nbytes for buf in self._slots.values())
+
+    def __len__(self) -> int:
+        return len(self._slots)
 
 
 @dataclass
@@ -45,6 +97,11 @@ class CompiledKernel:
     mode: str                     # "scalar" or "vector"
     width: int
     arg_names: List[str]
+    #: True when single-use SSA values were inlined into compound
+    #: expressions (the PR2 fused lowering)
+    fused: bool = False
+    #: the kernel's scratch-buffer arena (None unless arena mode)
+    arena: Optional[BufferArena] = None
 
     def __call__(self, *args, **kwargs):
         return self.fn(*args, **kwargs)
@@ -225,6 +282,7 @@ _HELPER_GLOBALS = {
     "_g_pow": _g_pow, "_g_div": _g_div, "_g_fmod": _g_fmod,
     "_g_expm1": _g_expm1, "_g_asin": _g_asin, "_g_acos": _g_acos,
     "_g_cosh": _g_cosh, "_g_sinh": _g_sinh, "_cbrt": _cbrt,
+    "_idiv": trunc_div, "_irem": trunc_rem,
     "_lut_scalar": _lut_any, "_lut_vec": lut_interp_row_vec,
     "_lut_spline_scalar": _lut_spline_any,
     "_lut_spline_vec": lut_interp_row_spline_vec,
@@ -243,8 +301,8 @@ _SCALAR_EXPR = {
     "arith.addi": "({0} + {1})",
     "arith.subi": "({0} - {1})",
     "arith.muli": "({0} * {1})",
-    "arith.divsi": "int({0} / {1})",
-    "arith.remsi": "math.fmod({0}, {1})",
+    "arith.divsi": "_idiv({0}, {1})",
+    "arith.remsi": "_irem({0}, {1})",
     "arith.andi": "({0} & {1})",
     "arith.ori": "({0} | {1})",
     "arith.xori": "({0} ^ {1})",
@@ -294,8 +352,8 @@ _VECTOR_EXPR = {
     "arith.addi": "({0} + {1})",
     "arith.subi": "({0} - {1})",
     "arith.muli": "({0} * {1})",
-    "arith.divsi": "({0} // {1})",
-    "arith.remsi": "np.fmod({0}, {1})",
+    "arith.divsi": "_idiv({0}, {1})",
+    "arith.remsi": "_irem({0}, {1})",
     "arith.andi": "({0} & {1})",
     "arith.ori": "({0} | {1})",
     "arith.xori": "({0} ^ {1})",
@@ -310,18 +368,66 @@ _CMP_PY = {"oeq": "==", "one": "!=", "olt": "<", "ole": "<=", "ogt": ">",
            "oge": ">=", "ueq": "==", "une": "!=", "eq": "==", "ne": "!=",
            "slt": "<", "sle": "<=", "sgt": ">", "sge": ">="}
 
+# -- buffer-arena support ----------------------------------------------------
+# Vector ops backed by a real NumPy ufunc can write into a preallocated
+# scratch buffer via ``out=`` instead of allocating a temporary.
+
+_ARENA_UFUNCS: Dict[str, str] = {
+    "arith.addf": "np.add",
+    "arith.subf": "np.subtract",
+    "arith.mulf": "np.multiply",
+    "arith.divf": "np.true_divide",
+    "arith.remf": "np.fmod",
+    "arith.negf": "np.negative",
+    "arith.maximumf": "np.maximum",
+    "arith.minimumf": "np.minimum",
+}
+# every "np.X({0})" / "np.X({0}, {1})" SVML template is ufunc-backed
+for _op, _tpl in VECTOR_MATH_TEMPLATES.items():
+    _m = re.fullmatch(r"np\.(\w+)\(\{0\}(, \{1\})?\)", _tpl)
+    if _m:
+        _ARENA_UFUNCS.setdefault(_op, f"np.{_m.group(1)}")
+
+#: operand texts safe to mention twice (once as input, once for the
+#: arena's shape/dtype probe): bare names and numeric literals
+_SIMPLE_OPERAND = re.compile(r"[A-Za-z_]\w*|[-+]?\d+(\.\d+)?(e[-+]?\d+)?")
+
 
 class _FunctionLowering:
-    """Lowers one func.func definition to Python source."""
+    """Lowers one func.func definition to Python source.
 
-    def __init__(self, op: Operation, mode: str, width: int):
+    With ``fuse`` enabled (the default), the result of a pure op whose
+    value has exactly one use is not assigned to a temporary: its
+    expression text is held *pending* and inlined at the single use
+    site.  Because every value has one definition and the deferred ops
+    are side-effect free, textual inlining preserves bit-identical
+    semantics while collapsing hundreds of one-line NumPy statements
+    (one vector temporary each) into a few compound expressions.
+    Pending values are flushed (materialized as assignments) before any
+    region op so fusion never moves work across control flow.
+
+    With ``arena`` set to a :class:`BufferArena`, statement-emitted
+    vector ufuncs additionally write their results into preallocated
+    per-slot scratch buffers (``out=``) reused across steps.
+    """
+
+    def __init__(self, op: Operation, mode: str, width: int,
+                 fuse: bool = True, arena: bool = False):
         self.op = op
         self.mode = mode
         self.width = width
+        self.fuse = fuse
+        self.arena = arena and mode != "scalar"
         self.lines: List[str] = []
         self.indent = 1
         self.names: Dict[int, str] = {}
         self.counter = 0
+        #: value id -> (expression text, nesting depth), in def order
+        self.pending: Dict[int, Tuple[str, int]] = {}
+        self.arena_slots = 0
+        #: > 0 while emitting inside a *Python* ``for`` body, where
+        #: arena slots would alias across iterations
+        self.loop_depth = 0
         # simt kernels flatten scalar per-thread code over NumPy arrays,
         # so they share the vector op table
         self.expr_table = _SCALAR_EXPR if mode == "scalar" else _VECTOR_EXPR
@@ -336,6 +442,27 @@ class _FunctionLowering:
                 f"definition")
         return name
 
+    def use(self, value: Value) -> str:
+        """Expression text for one use of ``value`` (consumes pending)."""
+        entry = self.pending.pop(id(value), None)
+        if entry is not None:
+            return entry[0]
+        return self.name_of(value)
+
+    def use_name(self, value: Value) -> str:
+        """Like :meth:`use`, but always yields a bare name (for
+        templates that mention an operand more than once)."""
+        entry = self.pending.pop(id(value), None)
+        if entry is not None:
+            name = self.fresh(value)
+            self.line(f"{name} = {entry[0]}")
+            return name
+        return self.name_of(value)
+
+    def _depth_of(self, value: Value) -> int:
+        entry = self.pending.get(id(value))
+        return entry[1] if entry is not None else 0
+
     def fresh(self, value: Value, hint: Optional[str] = None) -> str:
         name = hint or f"v{self.counter}"
         self.counter += 1
@@ -344,6 +471,33 @@ class _FunctionLowering:
 
     def line(self, text: str) -> None:
         self.lines.append("    " * self.indent + text)
+
+    # -- fusion ------------------------------------------------------------------
+
+    def _flush_pending(self) -> None:
+        """Materialize every pending expression as an assignment.
+
+        Called before region ops (loops, branches, parallel regions):
+        pending values defined here may be used inside the region, and
+        inlining across the boundary would re-evaluate them per
+        iteration (or skip LICM's work).  Definition order is emission
+        order, so operands are always bound first.
+        """
+        for value_id, (text, _) in list(self.pending.items()):
+            name = f"v{self.counter}"
+            self.counter += 1
+            self.names[value_id] = name
+            self.line(f"{name} = {text}")
+        self.pending.clear()
+
+    def _defer_or_assign(self, op: Operation, text: str,
+                         depth: int) -> None:
+        """Defer a pure op's result for inlining, or assign it."""
+        result = op.results[0]
+        if self.fuse and result.num_uses == 1 and depth <= MAX_FUSE_DEPTH:
+            self.pending[id(result)] = (text, depth)
+            return
+        self.line(f"{self.fresh(result)} = {text}")
 
     # -- entry --------------------------------------------------------------------
 
@@ -373,14 +527,16 @@ class _FunctionLowering:
         name = op.name
         if name == "func.return":
             if op.operands:
-                values = ", ".join(self.name_of(v) for v in op.operands)
+                values = ", ".join(self.use(v) for v in op.operands)
                 self.line(f"return {values}")
             else:
                 self.line("return")
             return
         if name == "omp.parallel":
-            # Worksharing is simulated by the machine model; execute the
-            # region body directly.
+            # Worksharing itself is the ShardedRunner's job (it calls
+            # the kernel on per-thread cell ranges); lowering executes
+            # the region body directly.
+            self._flush_pending()
             for inner in op.regions[0].entry.ops:
                 if inner.name != "omp.terminator":
                     self._lower_op(inner)
@@ -390,20 +546,23 @@ class _FunctionLowering:
             # global_id=0 / grid_dim=1 the stride loop enumerates every
             # cell exactly once, and the flattened cell loop runs them
             # all as one NumPy pass (the SIMT analog of lane-flattening).
+            self._flush_pending()
             for inner in op.regions[0].entry.ops:
                 if inner.name != "gpu.terminator":
                     self._lower_op(inner)
             return
         if name == "gpu.global_id":
-            self.line(f"{self.fresh(op.results[0])} = 0")
+            self._defer_or_assign(op, "0", 0)
             return
         if name == "gpu.grid_dim":
-            self.line(f"{self.fresh(op.results[0])} = 1")
+            self._defer_or_assign(op, "1", 0)
             return
         if name == "scf.for":
+            self._flush_pending()
             self._lower_for(op)
             return
         if name == "scf.if":
+            self._flush_pending()
             self._lower_if(op)
             return
         if name == "scf.yield" or name == "omp.terminator":
@@ -425,25 +584,44 @@ class _FunctionLowering:
         template = self.expr_table.get(name)
         if template is None:
             raise LoweringError(f"no {self.mode} lowering for {name}")
-        operands = [self.name_of(v) for v in op.operands]
-        result = self.fresh(op.results[0])
-        self.line(f"{result} = {template.format(*operands)}")
+        depth = 1 + max((self._depth_of(v) for v in op.operands), default=0)
+        operands = [self.use(v) for v in op.operands]
+        result = op.results[0]
+        if self.fuse and result.num_uses == 1 and depth <= MAX_FUSE_DEPTH:
+            self.pending[id(result)] = (template.format(*operands), depth)
+            return
+        if self.arena and self.loop_depth == 0 \
+                and name in _ARENA_UFUNCS \
+                and all(_SIMPLE_OPERAND.fullmatch(o) for o in operands):
+            slot = self.arena_slots
+            self.arena_slots += 1
+            args = ", ".join(operands)
+            self.line(f"{self.fresh(result)} = {_ARENA_UFUNCS[name]}"
+                      f"({args}, out=_arena.out({slot}, {args}))")
+            return
+        self.line(f"{self.fresh(result)} = {template.format(*operands)}")
 
     # -- leaf ops -----------------------------------------------------------------
 
     def _lower_constant(self, op: Operation) -> None:
         value = op.attributes["value"]
-        result = self.fresh(op.results[0])
-        if isinstance(value, bool):
-            self.line(f"{result} = {value}")
-        elif isinstance(value, int):
-            self.line(f"{result} = {value}")
+        if isinstance(value, bool) or isinstance(value, int):
+            text = str(value)
         else:
-            self.line(f"{result} = {float(value)!r}")
+            text = repr(float(value))
+        if self.fuse:
+            # constants inline everywhere (even multi-use: a literal is
+            # cheaper than a name lookup); negatives get parentheses so
+            # they survive template interpolation
+            if text.startswith("-"):
+                text = f"({text})"
+            self.names[id(op.results[0])] = text
+            return
+        self.line(f"{self.fresh(op.results[0])} = {text}")
 
     def _lower_call(self, op: Operation) -> None:
         callee = op.attributes["callee"]
-        operands = ", ".join(self.name_of(v) for v in op.operands)
+        operands = ", ".join(self.use(v) for v in op.operands)
         if callee.startswith("LUT_interpRowSpline_n_elements_vec"):
             call = f"_lut_spline_vec({operands})"
         elif callee.startswith("LUT_interpRowSpline"):
@@ -467,20 +645,23 @@ class _FunctionLowering:
         self.line(f"{results} = {call}")
 
     def _lower_special(self, op: Operation) -> None:
-        n = self.name_of
+        n = self.use
         name = op.name
         if name == "arith.cmpf" or name == "arith.cmpi":
             pred = _CMP_PY[op.attributes["predicate"]]
-            result = self.fresh(op.results[0])
-            self.line(f"{result} = ({n(op.operands[0])} {pred} "
-                      f"{n(op.operands[1])})")
+            depth = 1 + max(self._depth_of(op.operands[0]),
+                            self._depth_of(op.operands[1]))
+            self._defer_or_assign(op, f"({n(op.operands[0])} {pred} "
+                                      f"{n(op.operands[1])})", depth)
         elif name == "arith.select":
+            depth = 1 + max(self._depth_of(v) for v in op.operands)
             cond, tval, fval = (n(v) for v in op.operands)
-            result = self.fresh(op.results[0])
             if self.mode == "scalar":
-                self.line(f"{result} = ({tval} if {cond} else {fval})")
+                self._defer_or_assign(op, f"({tval} if {cond} else {fval})",
+                                      depth)
             else:
-                self.line(f"{result} = np.where({cond}, {tval}, {fval})")
+                self._defer_or_assign(op, f"np.where({cond}, {tval}, "
+                                          f"{fval})", depth)
         elif name == "memref.load":
             base, *idx = op.operands
             indices = ", ".join(n(v) for v in idx)
@@ -488,16 +669,18 @@ class _FunctionLowering:
             self.line(f"{result} = {n(base)}[{indices}]")
         elif name == "memref.store":
             value, base, *idx = op.operands
+            text = n(value)
             indices = ", ".join(n(v) for v in idx)
-            self.line(f"{n(base)}[{indices}] = {n(value)}")
+            self.line(f"{n(base)}[{indices}] = {text}")
         elif name == "vector.load":
             base, *idx = op.operands
             result = self.fresh(op.results[0])
             self.line(f"{result} = {n(base)}[_vb({n(idx[0])}) + _lanes]")
         elif name == "vector.store":
             value, base, *idx = op.operands
+            text = n(value)
             self.line(f"_vstore({n(base)}, _vb({n(idx[0])}) + _lanes, "
-                      f"{n(value)})")
+                      f"{text})")
         elif name == "vector.gather":
             base, idx = op.operands[0], op.operands[1]
             extra = ""
@@ -507,26 +690,28 @@ class _FunctionLowering:
             self.line(f"{result} = _vgather({n(base)}, {n(idx)}{extra})")
         elif name == "vector.scatter":
             value, base, idx = op.operands[0], op.operands[1], op.operands[2]
+            text = n(value)
             extra = f", {n(op.operands[3])}" if len(op.operands) == 4 else ""
-            self.line(f"_vscatter({n(base)}, {n(idx)}, {n(value)}{extra})")
+            self.line(f"_vscatter({n(base)}, {n(idx)}, {text}{extra})")
         elif name == "vector.broadcast":
-            result = self.fresh(op.results[0])
-            self.line(f"{result} = _vb({n(op.operands[0])})")
+            depth = 1 + self._depth_of(op.operands[0])
+            self._defer_or_assign(op, f"_vb({n(op.operands[0])})", depth)
         elif name == "vector.extract":
             pos = op.attributes["position"]
-            result = self.fresh(op.results[0])
-            src = n(op.operands[0])
-            self.line(f"{result} = ({src}[..., {pos}] "
-                      f"if isinstance({src}, np.ndarray) else {src})")
+            # the template mentions the source twice: force a bare name
+            src = self.use_name(op.operands[0])
+            self._defer_or_assign(op, f"({src}[..., {pos}] "
+                                      f"if isinstance({src}, np.ndarray) "
+                                      f"else {src})", 1)
         elif name == "vector.insert":
             scalar, vec = op.operands
-            result = self.fresh(op.results[0])
+            depth = 1 + max(self._depth_of(scalar), self._depth_of(vec))
             width = op.results[0].type.width
-            self.line(f"{result} = _vinsert({n(vec)}, {n(scalar)}, "
-                      f"{op.attributes['position']}, {width})")
+            self._defer_or_assign(
+                op, f"_vinsert({n(vec)}, {n(scalar)}, "
+                    f"{op.attributes['position']}, {width})", depth)
         elif name == "vector.step":
-            result = self.fresh(op.results[0])
-            self.line(f"{result} = _lanes")
+            self._defer_or_assign(op, "_lanes", 0)
         elif name in ("memref.cast", "memref.view"):
             # Typed reinterpretation: runtime buffers are already flat
             # NumPy arrays; a view with an element shift slices.
@@ -566,7 +751,12 @@ class _FunctionLowering:
             return
         self.line(f"for {iv_name} in range({lb}, {ub}, {step}):")
         self.indent += 1
+        self.loop_depth += 1
+        mark = len(self.lines)
         self._lower_block_body(body, acc_names)
+        if len(self.lines) == mark:
+            self.line("pass")      # everything fused away or inlined
+        self.loop_depth -= 1
         self.indent -= 1
         for result, acc in zip(op.results, acc_names):
             self.names[id(result)] = acc
@@ -575,10 +765,7 @@ class _FunctionLowering:
         for inner in body.ops:
             if inner.name == "scf.yield":
                 for acc, value in zip(acc_names, inner.operands):
-                    self.line(f"{acc} = {self.name_of(value)}")
-                if not acc_names and not inner.operands:
-                    if body.ops.index(inner) == 0:
-                        self.line("pass")
+                    self.line(f"{acc} = {self.use(value)}")
                 continue
             self._lower_op(inner)
 
@@ -587,10 +774,11 @@ class _FunctionLowering:
             raise LoweringError(
                 "scf.if has no vector lowering; use arith.select "
                 "(if-conversion happens in the frontend)")
-        cond = self.name_of(op.operands[0])
+        cond = self.use(op.operands[0])
         result_names = [self.fresh(r) for r in op.results]
         self.line(f"if {cond}:")
         self.indent += 1
+        self.loop_depth += 1       # branch bodies run conditionally
         self._lower_branch(op.regions[0].entry, result_names)
         self.indent -= 1
         if len(op.regions) > 1:
@@ -598,18 +786,17 @@ class _FunctionLowering:
             self.indent += 1
             self._lower_branch(op.regions[1].entry, result_names)
             self.indent -= 1
+        self.loop_depth -= 1
 
     def _lower_branch(self, block: Block, result_names: List[str]) -> None:
-        emitted = False
+        mark = len(self.lines)
         for inner in block.ops:
             if inner.name == "scf.yield":
                 for name, value in zip(result_names, inner.operands):
-                    self.line(f"{name} = {self.name_of(value)}")
-                    emitted = True
+                    self.line(f"{name} = {self.use(value)}")
                 continue
             self._lower_op(inner)
-            emitted = True
-        if not emitted:
+        if len(self.lines) == mark:
             self.line("pass")
 
 
@@ -639,27 +826,56 @@ def _kernel_mode(func_op: Operation) -> tuple[str, int]:
     return "scalar", 1
 
 
-def lower_function(module: Module, sym_name: str,
-                   mode: Optional[str] = None,
-                   extra_globals: Optional[Dict] = None) -> CompiledKernel:
-    """Lower one function of ``module`` to an executable Python kernel."""
-    func_op = module.lookup_func(sym_name)
-    if func_op is None:
-        raise LoweringError(f"no function @{sym_name} in module")
-    inferred_mode, width = _kernel_mode(func_op)
-    mode = mode or inferred_mode
-    lowering = _FunctionLowering(func_op, mode, width)
-    source = lowering.lower()
+def compile_kernel_source(sym_name: str, source: str, mode: str, width: int,
+                          arg_names: List[str], fused: bool = False,
+                          arena: bool = False,
+                          extra_globals: Optional[Dict] = None
+                          ) -> CompiledKernel:
+    """Exec lowered Python source into an executable kernel.
+
+    The tail of :func:`lower_function`, exposed separately so the
+    persistent kernel cache can rebuild a kernel from cached source
+    without re-running passes, verification, or the lowering itself.
+    """
+    arena_obj = BufferArena() if arena else None
     namespace = dict(_HELPER_GLOBALS)
     namespace["_np_erf"] = _np_erf
+    if arena_obj is not None:
+        namespace["_arena"] = arena_obj
     from .foreign import registered_foreign
     for fname, fn in registered_foreign().items():
         namespace[f"foreign_{_sanitize(fname)}"] = fn
     namespace.update(extra_globals or {})
     code = compile(source, f"<lowered:{sym_name}>", "exec")
     exec(code, namespace)
-    entry = func_op.regions[0].entry
-    arg_names = [a.name_hint or f"arg{i}" for i, a in enumerate(entry.args)]
     return CompiledKernel(name=sym_name, fn=namespace[sym_name],
                           source=source, mode=mode, width=width,
-                          arg_names=arg_names)
+                          arg_names=arg_names, fused=fused, arena=arena_obj)
+
+
+def lower_function(module: Module, sym_name: str,
+                   mode: Optional[str] = None,
+                   extra_globals: Optional[Dict] = None,
+                   fuse: bool = True, arena: bool = False) -> CompiledKernel:
+    """Lower one function of ``module`` to an executable Python kernel.
+
+    ``fuse`` inlines single-use SSA values into compound expressions
+    (bit-identical results, far fewer temporaries); ``arena`` opts the
+    kernel into the preallocated ``out=`` scratch-buffer mode for
+    multi-use vector values (see :class:`BufferArena` for the
+    single-thread restriction).
+    """
+    func_op = module.lookup_func(sym_name)
+    if func_op is None:
+        raise LoweringError(f"no function @{sym_name} in module")
+    inferred_mode, width = _kernel_mode(func_op)
+    mode = mode or inferred_mode
+    lowering = _FunctionLowering(func_op, mode, width, fuse=fuse,
+                                 arena=arena)
+    source = lowering.lower()
+    entry = func_op.regions[0].entry
+    arg_names = [a.name_hint or f"arg{i}" for i, a in enumerate(entry.args)]
+    use_arena = arena and mode != "scalar" and lowering.arena_slots > 0
+    return compile_kernel_source(sym_name, source, mode, width, arg_names,
+                                 fused=fuse, arena=use_arena,
+                                 extra_globals=extra_globals)
