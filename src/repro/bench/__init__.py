@@ -5,23 +5,25 @@ from .harness import (PAPER_CELLS, PAPER_DT, PAPER_STEPS, VARIANTS,
                       SweepRecord, format_sweep_table, generate_variant,
                       kernel_profile, resilient_sweep, run_measured)
 from .perf import (CANONICAL_CELLS, CANONICAL_DT, CANONICAL_MODEL,
-                   CANONICAL_STEPS, PerfVariant, check_report, perf_report,
-                   write_report)
+                   CANONICAL_STEPS, CANONICAL_WIDTH, PerfVariant,
+                   check_report, perf_report, write_report)
 from .report import (THREAD_SWEEP, figure_isa_sweep, figure_roofline,
                      figure_scaling, figure_speedups, format_isa_sweep,
                      format_perf_table, format_scaling_table,
                      format_speedup_table, sweep_average_geomean)
-from .timing import geomean, measure, trimmed_mean
+from .timing import (TimingStats, geomean, interleaved_steady_state,
+                     measure, steady_state, trimmed_mean)
 
 __all__ = ["PAPER_CELLS", "PAPER_DT", "PAPER_STEPS", "VARIANTS",
            "BenchConfig", "MeasuredRun", "ModeledBench", "ModeledRun",
            "SweepRecord", "format_sweep_table", "resilient_sweep",
            "generate_variant", "kernel_profile", "run_measured",
            "CANONICAL_CELLS", "CANONICAL_DT", "CANONICAL_MODEL",
-           "CANONICAL_STEPS", "PerfVariant", "check_report", "perf_report",
-           "write_report",
+           "CANONICAL_STEPS", "CANONICAL_WIDTH", "PerfVariant",
+           "check_report", "perf_report", "write_report",
            "THREAD_SWEEP", "figure_isa_sweep", "figure_roofline",
            "figure_scaling", "figure_speedups", "format_isa_sweep",
            "format_perf_table", "format_scaling_table",
            "format_speedup_table",
-           "sweep_average_geomean", "geomean", "measure", "trimmed_mean"]
+           "sweep_average_geomean", "geomean", "measure", "trimmed_mean",
+           "TimingStats", "steady_state", "interleaved_steady_state"]

@@ -32,7 +32,7 @@ from ..codegen import generate_limpet_mlir
 from ..models import load_model
 from ..runtime import (KernelCache, KernelRunner, ShardedRunner,
                        compare_trajectories)
-from .timing import trimmed_mean
+from .timing import TimingStats, steady_state
 
 #: the canonical benchmark config (CI and README numbers use these).
 #: OHara is the paper's flagship Markov/backward-Euler model and the
@@ -41,6 +41,7 @@ CANONICAL_MODEL = "OHara"
 CANONICAL_CELLS = 4096
 CANONICAL_STEPS = 100
 CANONICAL_DT = 0.01
+CANONICAL_WIDTH = 8
 
 
 @dataclass
@@ -54,6 +55,9 @@ class PerfVariant:
     cell_steps_per_second: float
     cache_hit: bool = False
     threads: int = 1
+    run_seconds_iqr: float = 0.0
+    compute_seconds: Optional[float] = None
+    overhead_seconds: Optional[float] = None
 
     @property
     def total_seconds(self) -> float:
@@ -75,21 +79,34 @@ def _timed_construct(factory):
 
 def _timed_run(runner, n_cells: int, n_steps: int, dt: float,
                runs: int = 5) -> PerfVariant:
-    """Time ``runner`` with the paper's 5-run drop-extrema protocol.
+    """Time ``runner`` with the steady-state harness (median + IQR).
 
-    Each run gets a fresh state (so every sample walks the same
+    Each sample runs a fresh state (so every sample walks the same
     trajectory); allocation happens outside the timed region — the
-    runner's own ``elapsed_seconds`` covers only the stepped loop.
+    summarized samples are the runner's own ``elapsed_seconds``, which
+    cover only the stepped loop.  After timing, one extra
+    ``time_breakdown`` run attributes the median to kernel vs overhead
+    (the breakdown's clock reads perturb timing, so it never feeds the
+    headline number).
     """
-    samples = []
-    for _ in range(runs):
+    samples: list = []
+
+    def sample():
         state = runner.make_state(n_cells)
         samples.append(runner.run(state, n_steps, dt).elapsed_seconds)
-    seconds = trimmed_mean(samples)
+
+    steady_state(sample, warmup=1, repeats=runs)
+    stats = TimingStats(samples=samples[1:])    # untimed warmup dropped
+    seconds = stats.median
+    breakdown = runner.run(runner.make_state(n_cells), n_steps, dt,
+                           time_breakdown=True)
     return PerfVariant(
         name="", construct_seconds=0.0, run_seconds=seconds,
         steps_per_second=n_steps / max(seconds, 1e-12),
-        cell_steps_per_second=n_steps * n_cells / max(seconds, 1e-12))
+        cell_steps_per_second=n_steps * n_cells / max(seconds, 1e-12),
+        run_seconds_iqr=stats.iqr,
+        compute_seconds=breakdown.compute_seconds,
+        overhead_seconds=breakdown.overhead_seconds)
 
 
 def perf_report(model_name: str = CANONICAL_MODEL,
@@ -100,16 +117,19 @@ def perf_report(model_name: str = CANONICAL_MODEL,
                 cache: Optional[KernelCache] = None,
                 runs: int = 5,
                 check_steps: int = 40,
-                check_cells: int = 16) -> Dict:
+                check_cells: int = 16,
+                width: int = CANONICAL_WIDTH) -> Dict:
     """Build the BENCH_PR2 report dict for one model/config.
 
     ``cache`` defaults to the process default cache; pass a dedicated
     :class:`KernelCache` to keep benchmark entries out of it.
+    ``width`` is the SIMD width of the generated kernels (the CLI's
+    ``--width`` override; the canonical config uses 8).
     """
     model = load_model(model_name)
 
     def gen():
-        return generate_limpet_mlir(load_model(model_name))
+        return generate_limpet_mlir(load_model(model_name), width=width)
 
     # -- differential gate: all variants must agree before we time anything
     ref = KernelRunner(gen(), fuse=False).simulate(check_cells, check_steps,
@@ -173,7 +193,8 @@ def perf_report(model_name: str = CANONICAL_MODEL,
         "benchmark": "BENCH_PR2",
         "config": {"model": model_name, "n_cells": n_cells,
                    "n_steps": n_steps, "dt": dt, "threads": threads,
-                   "runs": runs, "n_states": len(model.states)},
+                   "runs": runs, "width": width,
+                   "n_states": len(model.states)},
         "machine": {"platform": platform.platform(),
                     "python": platform.python_version(),
                     "available_cpus": os.cpu_count() or 1},

@@ -1,17 +1,136 @@
-"""The paper's measurement protocol (§4).
+"""Timing protocols: the paper's trimmed mean and a steady-state harness.
 
-"Execution times were measured by running the models five times,
-eliminating the two extrema, and averaging the remaining three."
+Two measurement disciplines live here:
+
+* the paper's protocol (§4) — "Execution times were measured by running
+  the models five times, eliminating the two extrema, and averaging the
+  remaining three" (:func:`measure`/:func:`trimmed_mean`);
+* a steady-state harness (:func:`steady_state`,
+  :func:`interleaved_steady_state`) for intra-process comparisons —
+  warmup iterations first, then N repeats each taking the **min of
+  ``inner`` back-to-back timings** (min rejects preemption noise;
+  repeats capture drift), summarized as median + IQR over the repeats.
+  All clocks are ``time.perf_counter`` (monotonic).  The kernel
+  autotuner and ``limpet-bench perf`` both measure with this harness so
+  their numbers no longer depend on ad-hoc single-shot timing.
 """
 
 from __future__ import annotations
 
 import math
 import time
+from dataclasses import dataclass, field
 from typing import Callable, List, Sequence
 
 DEFAULT_RUNS = 5
 DEFAULT_TRIMMED = 3
+
+#: steady-state defaults: enough repeats for a meaningful IQR without
+#: making a 70-candidate tuning sweep take minutes
+DEFAULT_WARMUP = 2
+DEFAULT_REPEATS = 5
+DEFAULT_INNER = 1
+
+
+@dataclass
+class TimingStats:
+    """Summary of one steady-state measurement (seconds per repeat)."""
+
+    samples: List[float] = field(default_factory=list)
+
+    @property
+    def median(self) -> float:
+        if not self.samples:
+            raise ValueError("no samples")
+        ordered = sorted(self.samples)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+    @property
+    def best(self) -> float:
+        if not self.samples:
+            raise ValueError("no samples")
+        return min(self.samples)
+
+    def _quartile(self, q: float) -> float:
+        """Linear-interpolated quantile of the sorted samples."""
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range: the harness's noise estimate."""
+        if not self.samples:
+            raise ValueError("no samples")
+        return self._quartile(0.75) - self._quartile(0.25)
+
+    def as_dict(self) -> dict:
+        return {"median": self.median, "best": self.best, "iqr": self.iqr,
+                "samples": list(self.samples)}
+
+
+def steady_state(fn: Callable[[], object],
+                 warmup: int = DEFAULT_WARMUP,
+                 repeats: int = DEFAULT_REPEATS,
+                 inner: int = DEFAULT_INNER) -> TimingStats:
+    """Steady-state timing of ``fn``: warmup, then median-of-min repeats.
+
+    ``warmup`` untimed calls bring caches, allocators, and (for NumPy
+    kernels) ufunc dispatch into steady state.  Each of the ``repeats``
+    samples is the minimum over ``inner`` back-to-back timed calls.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    stats = TimingStats()
+    for _ in range(repeats):
+        best = math.inf
+        for _ in range(max(inner, 1)):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        stats.samples.append(best)
+    return stats
+
+
+def interleaved_steady_state(fns: Sequence[Callable[[], object]],
+                             warmup: int = DEFAULT_WARMUP,
+                             repeats: int = DEFAULT_REPEATS,
+                             inner: int = DEFAULT_INNER
+                             ) -> List[TimingStats]:
+    """Steady-state timing of several competitors, round-robin.
+
+    Candidates being *compared* must not be timed back-to-back in
+    separate blocks: thermal/frequency drift would then bias whichever
+    ran first.  This variant warms every candidate up front and then
+    interleaves the repeat rounds (A B C, A B C, ...), so slow drift
+    hits all candidates equally.  Returns one :class:`TimingStats` per
+    candidate, in order.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for fn in fns:
+        for _ in range(warmup):
+            fn()
+    all_stats = [TimingStats() for _ in fns]
+    for _ in range(repeats):
+        for fn, stats in zip(fns, all_stats):
+            best = math.inf
+            for _ in range(max(inner, 1)):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            stats.samples.append(best)
+    return all_stats
 
 
 def trimmed_mean(samples: Sequence[float],

@@ -13,6 +13,12 @@ Subcommands:
   trajectories agree and report the measured speedup;
 * ``figure {fig2,fig3,fig4,fig5,fig6}`` — regenerate a paper figure's
   data from the modeled Cascade Lake bench;
+* ``perf`` — measured performance-layer comparison (baseline / fused /
+  fused+cached / sharded) with the steady-state harness;
+* ``tune`` — the cost-model-guided kernel autotuner: tune one workload
+  (``--model``), run the BENCH_PR3 ablation (``--report``), or clear
+  the persistent tuning DB (``--clear``);
+* ``cache-stats`` — kernel-cache and LUT-cache statistics;
 * ``faults`` — the fault-injection drill: deterministically break a
   pass, corrupt IR, poison a run with NaNs and fail backends, then
   check the resilience layer recovers from every one.
@@ -159,6 +165,10 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--cells", type=_positive_int, default=None)
     perf.add_argument("--steps", type=_positive_int, default=None)
     perf.add_argument("--dt", type=_positive_float, default=None)
+    perf.add_argument("--width", type=int, default=None,
+                      choices=(2, 4, 8),
+                      help="vector width for the limpetMLIR variants "
+                           "(default: the canonical width, 8)")
     perf.add_argument("--threads", type=_positive_int, default=4,
                       help="shard count for the sharded variant")
     perf.add_argument("--runs", type=_positive_int, default=5,
@@ -170,7 +180,46 @@ def build_parser() -> argparse.ArgumentParser:
                            "the cache hit sped up construction")
     perf.set_defaults(func=lambda args: cmd_perf(
         args.model, args.cells, args.steps, args.dt, args.threads,
-        args.runs, args.json, args.check))
+        args.runs, args.json, args.check, args.width))
+
+    tune = sub.add_parser(
+        "tune", help="cost-model-guided kernel autotuner "
+                     "(enumerate / rank / measure / persist)")
+    tune.add_argument("--model", default=None, metavar="MODEL",
+                      choices=ALL_MODELS,
+                      help="workload model to tune (omit with --report "
+                           "or --clear)")
+    tune.add_argument("--cells", type=_positive_int, default=None,
+                      help="workload cell count (default: 512; "
+                           "--report: 4096)")
+    tune.add_argument("--steps", type=_positive_int, default=None,
+                      help="steps per timed sample (default: 20; "
+                           "--report: 10)")
+    tune.add_argument("--dt", type=_positive_float, default=0.01)
+    tune.add_argument("--top-k", type=_positive_int, default=5,
+                      help="cost-model candidates to measure-refine")
+    tune.add_argument("--repeats", type=_positive_int, default=5,
+                      help="timed samples per candidate")
+    tune.add_argument("--db", default=None, metavar="PATH",
+                      help="tuning DB path (default: $LIMPET_TUNE_DB or "
+                           "~/.cache/limpet-repro/tuning.json)")
+    tune.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the result as JSON "
+                           "(--report: BENCH_PR3)")
+    tune.add_argument("--force", action="store_true",
+                      help="re-measure even on a tuning-DB hit")
+    tune.add_argument("--clear", action="store_true",
+                      help="delete all tuning-DB records first")
+    tune.add_argument("--report", action="store_true",
+                      help="BENCH_PR3 ablation over the five "
+                           "representative models")
+    tune.add_argument("--check", action="store_true",
+                      help="fail (exit 1) unless the acceptance "
+                           "criteria hold")
+    tune.set_defaults(func=lambda args: cmd_tune(
+        args.model, args.cells, args.steps, args.dt, args.top_k,
+        args.repeats, args.db, args.json, args.force, args.clear,
+        args.report, args.check))
 
     cache_stats = sub.add_parser(
         "cache-stats", help="kernel-cache and LUT-cache statistics")
@@ -337,16 +386,19 @@ def cmd_figure(which: str) -> int:
 
 def cmd_perf(model: Optional[str], cells: Optional[int],
              steps: Optional[int], dt: Optional[float], threads: int,
-             runs: int, json_path: Optional[str], check: bool) -> int:
+             runs: int, json_path: Optional[str], check: bool,
+             width: Optional[int] = None) -> int:
     from .bench.perf import (CANONICAL_CELLS, CANONICAL_DT,
                              CANONICAL_MODEL, CANONICAL_STEPS,
-                             check_report, perf_report, write_report)
+                             CANONICAL_WIDTH, check_report, perf_report,
+                             write_report)
     from .bench.report import format_perf_table
     report = perf_report(model_name=model or CANONICAL_MODEL,
                          n_cells=cells or CANONICAL_CELLS,
                          n_steps=steps or CANONICAL_STEPS,
                          dt=dt or CANONICAL_DT,
-                         threads=threads, runs=runs)
+                         threads=threads, runs=runs,
+                         width=width or CANONICAL_WIDTH)
     print(format_perf_table(report))
     if json_path:
         write_report(report, json_path)
@@ -359,6 +411,68 @@ def cmd_perf(model: Optional[str], cells: Optional[int],
             return EXIT_FAILURE
         print("checks passed: fused >= unfused, cache hit sped up "
               "construction")
+    return EXIT_OK
+
+
+def cmd_tune(model: Optional[str], cells: Optional[int],
+             steps: Optional[int], dt: float, top_k: int, repeats: int,
+             db_path: Optional[str], json_path: Optional[str],
+             force: bool, clear: bool, report: bool,
+             check: bool) -> int:
+    import json as _json
+
+    from .tuning import (SLOWDOWN_TOLERANCE, TuningDB, autotune,
+                         check_tuning_report, format_tuning_table,
+                         tuning_report)
+    db = TuningDB(path=db_path)
+    if clear:
+        removed = db.clear()
+        print(f"cleared {removed} tuning record(s) from {db.path}")
+        if model is None and not report:
+            return EXIT_OK
+    if report:
+        data = tuning_report(n_cells=cells or 4096, n_steps=steps or 10,
+                             dt=dt, top_k=top_k, repeats=repeats, db=db)
+        print(format_tuning_table(data))
+        if json_path:
+            with open(json_path, "w") as fh:
+                _json.dump(data, fh, indent=2)
+            print(f"report written to {json_path}")
+        if check:
+            failures = check_tuning_report(data)
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            if failures:
+                return EXIT_FAILURE
+            print("checks passed: tuned never slower than default; "
+                  "speedup and cost-model agreement bars met")
+        return EXIT_OK
+    if model is None:
+        print("tune: --model is required (or use --report / --clear)",
+              file=sys.stderr)
+        return EXIT_USAGE
+    result = autotune(model, n_cells=cells or 512, dt=dt,
+                      n_steps=steps or 20, top_k=top_k, repeats=repeats,
+                      db=db, force=force)
+    print(result.describe())
+    measured = sorted((c for c in result.candidates
+                       if c.measured_seconds is not None),
+                      key=lambda c: c.measured_seconds)
+    for c in measured:
+        marker = " (default)" if c.is_default else ""
+        print(f"  {c.measured_seconds * 1e3:8.2f} ms  "
+              f"predicted #{c.predicted_rank + 1:<3} "
+              f"{c.config.describe()}{marker}")
+    if json_path:
+        with open(json_path, "w") as fh:
+            _json.dump(result.as_dict(), fh, indent=2)
+        print(f"result written to {json_path}")
+    if check and not result.from_db:
+        speedup = result.speedup_vs_default
+        if speedup is not None and speedup < 1.0 - SLOWDOWN_TOLERANCE:
+            print(f"CHECK FAILED: tuned config {1 / speedup:.3f}x "
+                  f"slower than default", file=sys.stderr)
+            return EXIT_FAILURE
     return EXIT_OK
 
 

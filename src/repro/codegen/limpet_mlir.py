@@ -10,6 +10,10 @@ accessor patterns selected by the state layout:
   ``vector.load``/``vector.store`` blocks;
 * AoS (transformation disabled, for the §4.4 ablation) — strided
   ``vector.gather``/``vector.scatter``;
+* SoA (fully transposed, for the autotuner's layout axis) — contiguous
+  loads with the slot stride taken from the ``end`` argument, so the
+  kernel must always be invoked over the whole allocation
+  (``end == n_alloc``; the ShardedRunner therefore refuses SoA);
 
 and LUT rows are interpolated by the vectorized routine (§3.4.2).
 
@@ -30,7 +34,7 @@ from ..ir.dialects import (arith, func as func_dialect, omp, scf,
 from ..ir.types import f64, index, memref_of
 from .common import BackendMode, ExprEmitter, GeneratedKernel, KernelSpec
 from .integrators import emit_state_updates
-from .layout import Layout, LayoutKind, aos, aosoa
+from .layout import Layout, LayoutKind, aos, aosoa, soa
 from .lut import (LUT_MEMREF, declare_interp_functions,
                   emit_serialized_interp, emit_vector_interp)
 
@@ -41,6 +45,7 @@ EXT_MEMREF = memref_of(f64)
 def generate_limpet_mlir(model: IonicModel, width: int = 8,
                          data_layout_opt: bool = True, use_lut: bool = True,
                          lut_interpolation: str = "linear",
+                         layout: Optional[str] = None,
                          function_name: Optional[str] = None
                          ) -> GeneratedKernel:
     """Generate the vectorized limpetMLIR kernel.
@@ -48,12 +53,24 @@ def generate_limpet_mlir(model: IonicModel, width: int = 8,
     ``width`` is the SIMD width in doubles (2 = SSE, 4 = AVX2,
     8 = AVX-512).  ``data_layout_opt`` toggles the AoS -> AoSoA
     transformation (§3.4.1), exposed "through a compiler flag" in the
-    paper.
+    paper.  ``layout`` overrides it with an explicit choice
+    (``"aos"``/``"soa"``/``"aosoa"``) — the autotuner's layout axis.
     """
     if lut_interpolation not in ("linear", "spline"):
         raise ValueError(f"unknown LUT interpolation {lut_interpolation!r}")
-    layout = aosoa(model.n_states, width) if data_layout_opt \
-        else aos(model.n_states)
+    if layout is None:
+        resolved = aosoa(model.n_states, width) if data_layout_opt \
+            else aos(model.n_states)
+    elif layout == "aosoa":
+        resolved = aosoa(model.n_states, width)
+    elif layout == "aos":
+        resolved = aos(model.n_states)
+    elif layout == "soa":
+        resolved = soa(model.n_states)
+    else:
+        raise ValueError(f"unknown layout {layout!r}; "
+                         f"one of 'aos', 'soa', 'aosoa'")
+    layout = resolved
     spec = KernelSpec(model=model, mode=BackendMode.LIMPET_MLIR, width=width,
                       layout=layout, use_lut=use_lut,
                       lut_interpolation=lut_interpolation,
@@ -121,7 +138,7 @@ def _emit_vectorized(spec: KernelSpec) -> GeneratedKernel:
             for ext in model.externals:
                 env[ext] = vector_dialect.load(b, args[f"{ext}_ext"], [i],
                                                width)
-            _load_states(b, spec, args["sv"], i, n_states, env)
+            _load_states(b, spec, args["sv"], i, n_states, end, env)
             lut_served = set()
             if spec.use_lut:
                 for table in model.lut_tables:
@@ -147,7 +164,7 @@ def _emit_vectorized(spec: KernelSpec) -> GeneratedKernel:
                 env[comp.target] = emitter.emit(comp.expr)
             new_values = emit_state_updates(b, model, env, width=width,
                                             dt=dt_vec)
-            _store_states(b, spec, args["sv"], i, n_states, new_values)
+            _store_states(b, spec, args["sv"], i, n_states, end, new_values)
             for ext in model.outputs:
                 vector_dialect.store(b, env[ext], args[f"{ext}_ext"], [i])
             scf.yield_op(b)
@@ -156,10 +173,22 @@ def _emit_vectorized(spec: KernelSpec) -> GeneratedKernel:
 
 
 def _load_states(b: IRBuilder, spec: KernelSpec, sv: Value, i: Value,
-                 n_states: Value, env: Dict[str, Value]) -> None:
+                 n_states: Value, end: Value,
+                 env: Dict[str, Value]) -> None:
     """Emit the layout-appropriate accessor for every state variable."""
     model = spec.model
     width = spec.width
+    if spec.layout.kind is LayoutKind.SOA:
+        # SoA: slot s of cells i..i+W-1 sits at s*n_alloc + i, so the
+        # lane block is one contiguous load.  The slot stride is the
+        # ``end`` argument — SoA kernels are only valid over the whole
+        # allocation (end == n_alloc), which the runtime guarantees by
+        # refusing to shard SoA kernels.
+        for slot, state in enumerate(model.states):
+            stride = arith.muli(b, end, b.constant(slot, index))
+            offset = arith.addi(b, stride, i)
+            env[state] = vector_dialect.load(b, sv, [offset], width)
+        return
     if spec.layout.kind is LayoutKind.AOSOA:
         # AoSoA: lanes of one slot are contiguous.  Since i is a block
         # start (i % W == 0): offset = i*n_states + slot*W  (the
@@ -184,9 +213,16 @@ def _load_states(b: IRBuilder, spec: KernelSpec, sv: Value, i: Value,
 
 
 def _store_states(b: IRBuilder, spec: KernelSpec, sv: Value, i: Value,
-                  n_states: Value, new_values: Dict[str, Value]) -> None:
+                  n_states: Value, end: Value,
+                  new_values: Dict[str, Value]) -> None:
     model = spec.model
     width = spec.width
+    if spec.layout.kind is LayoutKind.SOA:
+        for slot, state in enumerate(model.states):
+            stride = arith.muli(b, end, b.constant(slot, index))
+            offset = arith.addi(b, stride, i)
+            vector_dialect.store(b, new_values[state], sv, [offset])
+        return
     if spec.layout.kind is LayoutKind.AOSOA:
         base = arith.muli(b, i, n_states)
         for slot, state in enumerate(model.states):

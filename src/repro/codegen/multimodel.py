@@ -109,7 +109,7 @@ def generate_plugin(model: IonicModel, width: int = 8,
                 env[ext] = vector_dialect.gather(
                     b, args[f"parent_{ext}"], parent_idx,
                     mask=has_parent, pass_thru=local)
-            _load_states(b, spec, args["sv"], i, n_states, env)
+            _load_states(b, spec, args["sv"], i, n_states, args["end"], env)
             lut_served = set()
             if spec.use_lut:
                 for table in model.lut_tables:
@@ -126,7 +126,7 @@ def generate_plugin(model: IonicModel, width: int = 8,
                 env[comp.target] = emitter.emit(comp.expr)
             new_values = emit_state_updates(b, model, env, width=width,
                                             dt=dt_vec)
-            _store_states(b, spec, args["sv"], i, n_states, new_values)
+            _store_states(b, spec, args["sv"], i, n_states, args["end"], new_values)
             # outputs: ACCUMULATE into the parent (read-modify-write
             # masked gather/scatter); unparented lanes write locally.
             for ext in model.outputs:

@@ -78,7 +78,9 @@ def compile_resilient(model: Union[str, IonicModel],
                       width: int = 8, use_lut: bool = True,
                       strict: bool = False, sandbox: bool = True,
                       reproducer_dir: Optional[pathlib.Path] = None,
-                      inject=None) -> ResilientKernel:
+                      inject=None, tune: bool = False,
+                      tune_cells: int = 512, tune_dt: float = 0.01,
+                      tune_db=None) -> ResilientKernel:
     """Compile ``model`` down the backend fallback chain.
 
     Tries each tier in ``chain`` in order; a tier fails when code
@@ -89,7 +91,14 @@ def compile_resilient(model: Union[str, IonicModel],
     re-raised instead (no fallback).  ``inject`` is an optional
     :class:`~repro.resilience.faultinject.FaultInjector` consulted per
     tier (testing hook).
+
+    ``tune=True`` forwards the tuning-DB lookup to the winning tier's
+    :class:`KernelRunner` (see ``KernelRunner(tune=True)``): a recorded
+    winner for the ``tune_cells``/``tune_dt`` workload silently
+    replaces the tier's default variant, and a miss changes nothing.
     """
+    tune_kwargs = dict(tune=tune, tune_cells=tune_cells,
+                       tune_dt=tune_dt, tune_db=tune_db)
     if isinstance(model, str):
         model = load_model(model)
     if not chain:
@@ -106,9 +115,10 @@ def compile_resilient(model: Union[str, IonicModel],
                 if inject is not None:
                     inject.wrap_pipeline(pipeline)
                 runner = KernelRunner(kernel, optimize=True, verify=True,
-                                      pipeline=pipeline)
+                                      pipeline=pipeline, **tune_kwargs)
             else:
-                runner = KernelRunner(kernel, optimize=True, verify=True)
+                runner = KernelRunner(kernel, optimize=True, verify=True,
+                                      **tune_kwargs)
         except Exception as err:  # noqa: BLE001 - tier boundary
             if strict:
                 raise

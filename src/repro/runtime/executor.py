@@ -64,10 +64,22 @@ class RunResult:
     vm_trace: Optional[np.ndarray] = None
     #: numerical health report (only when a watchdog guarded the run)
     health: Optional["object"] = None
+    #: wall time inside the compute-stage kernel calls, only measured
+    #: when ``run(..., time_breakdown=True)`` — ``None`` otherwise
+    compute_seconds: Optional[float] = None
 
     @property
     def seconds_per_step(self) -> float:
         return self.elapsed_seconds / max(self.n_steps, 1)
+
+    @property
+    def overhead_seconds(self) -> Optional[float]:
+        """Everything outside the kernel: solver stage, loop, binding.
+
+        ``None`` unless the run measured a breakdown."""
+        if self.compute_seconds is None:
+            return None
+        return max(self.elapsed_seconds - self.compute_seconds, 0.0)
 
     @property
     def steps_per_second(self) -> float:
@@ -105,13 +117,28 @@ class KernelRunner:
     the process-default cache dir.  On a hit, the pass pipeline,
     verification and lowering are all skipped and the cached source is
     compiled directly; ``self.cache_hit`` records which path ran.
+
+    ``tune`` consults the persistent tuning database
+    (:mod:`repro.tuning`) for this model at the ``tune_cells`` /
+    ``tune_dt`` workload shape: on a hit the runner silently swaps in
+    the recorded winning variant (width/layout/LUT regeneration plus
+    the ``fuse``/``arena`` flags) — ``self.tuned_config`` records what
+    was applied.  It never measures at construction time (run
+    ``limpet-bench tune`` or :func:`repro.tuning.autotune` to populate
+    the DB) and falls back to the passed-in kernel when there is no
+    record, the record needs sharding, or the model is not registered.
     """
 
     def __init__(self, generated: GeneratedKernel, optimize: bool = True,
                  verify: bool = True,
                  pipeline: Optional[PassManager] = None,
                  fuse: bool = True, arena: bool = False,
-                 cache=None):
+                 cache=None, tune: bool = False, tune_cells: int = 512,
+                 tune_dt: float = 0.01, tune_db=None):
+        self.tuned_config = None
+        if tune:
+            generated, fuse, arena = self._tuned_variant(
+                generated, fuse, arena, tune_cells, tune_dt, tune_db)
         self.generated = generated
         self.spec = generated.spec
         self.model: IonicModel = generated.spec.model
@@ -134,6 +161,31 @@ class KernelRunner:
         self._lut_evictions = 0
         # prebound compute_step arguments (rebuilt on state/dt/sv change)
         self._bound: Optional[tuple] = None
+
+    def _tuned_variant(self, generated: GeneratedKernel, fuse: bool,
+                       arena: bool, n_cells: int, dt: float, db):
+        """The tuning DB's winning variant for this workload, if any.
+
+        DB-lookup only — never measures.  Any failure (unregistered
+        model, unreadable DB, regeneration error) falls back to the
+        caller's kernel unchanged; tuning is an optimization, not a
+        correctness dependency.
+        """
+        try:
+            from ..tuning import generate_for, lookup_config
+            config = lookup_config(generated.spec.model, n_cells, dt,
+                                   db=db)
+        except Exception:
+            return generated, fuse, arena
+        if config is None or config.shards > 1:
+            # sharded winners need a ShardedRunner; keep the kernel
+            return generated, fuse, arena
+        try:
+            tuned = generate_for(generated.spec.model, config)
+        except Exception:
+            return generated, fuse, arena
+        self.tuned_config = config
+        return tuned, config.fuse, config.arena
 
     def _build_kernel(self, optimize: bool, verify: bool,
                       pipeline: Optional[PassManager]) -> CompiledKernel:
@@ -252,8 +304,8 @@ class KernelRunner:
     def run(self, state: SimulationState, n_steps: int, dt: float = 0.01,
             stimulus: Optional[Stimulus] = None,
             record_vm: bool = False, watchdog=None,
-            step_hook: Optional[Callable[[SimulationState], None]] = None
-            ) -> RunResult:
+            step_hook: Optional[Callable[[SimulationState], None]] = None,
+            time_breakdown: bool = False) -> RunResult:
         """Run the two-stage simulation for ``n_steps`` steps of ``dt``.
 
         With ``watchdog`` set (a ``WatchdogConfig`` or
@@ -261,6 +313,12 @@ class KernelRunner:
         for NaN/Inf every ``check_interval`` steps and the configured
         policy (raise / halve_dt / abort_cell_report) applies; the
         result then carries a ``health`` report.
+
+        ``time_breakdown`` additionally clocks every compute-stage call
+        so the result carries ``compute_seconds``/``overhead_seconds``.
+        The two extra clock reads per step perturb the total, so timed
+        benchmarks take their headline number from a plain run and use
+        a separate breakdown run only for attribution.
         """
         if watchdog is not None:
             return self._run_guarded(state, n_steps, dt, stimulus,
@@ -269,6 +327,26 @@ class KernelRunner:
         trace = np.empty(n_steps) if record_vm and has_vm else None
         compute = self.compute_step
         solver = self.solver_step
+        if time_breakdown:
+            clock = _time.perf_counter
+            vm = state.externals["Vm"] if trace is not None else None
+            compute_total = 0.0
+            start = clock()
+            for step in range(n_steps):
+                t0 = clock()
+                compute(state, dt)
+                compute_total += clock() - t0
+                solver(state, dt, stimulus)
+                state.time += dt
+                state.steps_done += 1
+                if trace is not None:
+                    trace[step] = vm[0]
+                if step_hook is not None:
+                    step_hook(state)
+            elapsed = clock() - start
+            return RunResult(state=state, n_steps=n_steps, dt=dt,
+                             elapsed_seconds=elapsed, vm_trace=trace,
+                             compute_seconds=compute_total)
         start = _time.perf_counter()
         if trace is None and step_hook is None:
             # hot path: no per-step branch checks at all

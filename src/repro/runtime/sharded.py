@@ -92,6 +92,12 @@ class ShardedRunner(KernelRunner):
         kwargs["arena"] = False
         super().__init__(generated, **kwargs)
         self.n_threads = n_threads or (os.cpu_count() or 1)
+        from ..codegen.layout import LayoutKind
+        if self.layout.kind is LayoutKind.SOA and self.n_threads > 1:
+            raise ValueError(
+                "ShardedRunner cannot shard SoA kernels: their slot "
+                "stride is the `end` argument, so they are only valid "
+                "over the whole allocation (end == n_alloc)")
         self.parallel_marked = _module_has_omp(
             generated.module, generated.spec.function_name)
         if require_omp and not self.parallel_marked:

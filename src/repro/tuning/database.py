@@ -1,0 +1,152 @@
+"""The persistent tuning database: workload -> tuned configuration.
+
+One JSON file maps content-addressed workload keys to tuning records
+(the winning :class:`~repro.tuning.space.TuningConfig` plus the
+predicted-vs-measured ranking evidence behind it).  The key follows
+the kernel cache's discipline (``repro.runtime.kernel_cache``): it
+hashes everything that could change the *answer* —
+
+* the model's **source file bytes** (any edit retunes),
+* the integrator summary (per-state integration methods),
+* the run shape (``n_cells``, ``dt``) and machine name,
+* the **pass-pipeline fingerprint** and the **lowering version**
+  (a new optimization or lowering strategy shifts the optimum),
+* the DB schema version (:data:`TUNE_DB_VERSION`).
+
+``$LIMPET_TUNE_DB`` overrides the file location; records with a stale
+schema version are ignored (treated as a miss).  Writes are atomic
+(tmp file + rename) so concurrent tuners cannot corrupt the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import time
+from typing import Dict, Optional, Union
+
+from ..ir.passes import default_pipeline
+from ..models import model_entry
+from .space import TuningConfig, Workload
+
+#: bump to invalidate every tuning decision at once
+TUNE_DB_VERSION = 1
+
+_ENV_DB = "LIMPET_TUNE_DB"
+
+
+def model_source_hash(model_name: str) -> str:
+    """sha256 of the model's EasyML source file bytes."""
+    path = model_entry(model_name).path
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def tuning_db_key(workload: Workload,
+                  pipeline_fingerprint: Optional[str] = None,
+                  source_hash: Optional[str] = None) -> str:
+    """Content address of one workload's tuning decision.
+
+    ``pipeline_fingerprint`` defaults to the default pass pipeline's;
+    ``source_hash`` to the registry file's hash (override both in
+    tests to prove invalidation).
+    """
+    from ..runtime.lowering import LOWERING_VERSION
+    if pipeline_fingerprint is None:
+        pipeline_fingerprint = default_pipeline(
+            verify_each=False).fingerprint()
+    if source_hash is None:
+        source_hash = model_source_hash(workload.model)
+    material = "\n".join([
+        f"format={TUNE_DB_VERSION}",
+        f"model={workload.model}",
+        f"source={source_hash}",
+        f"integrator={workload.integrator}",
+        f"n_cells={workload.n_cells}",
+        f"dt={workload.dt!r}",
+        f"machine={workload.machine}",
+        f"pipeline={pipeline_fingerprint}",
+        f"lowering=v{LOWERING_VERSION}",
+    ])
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def default_db_path() -> pathlib.Path:
+    """``$LIMPET_TUNE_DB`` or ``~/.cache/limpet-repro/tuning.json``."""
+    env = os.environ.get(_ENV_DB)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "limpet-repro" / "tuning.json"
+
+
+class TuningDB:
+    """A single JSON file of tuning records, schema-versioned."""
+
+    def __init__(self, path: Union[str, pathlib.Path, None] = None):
+        self.path = pathlib.Path(path) if path is not None \
+            else default_db_path()
+
+    # -- raw file I/O -------------------------------------------------------------
+
+    def _read(self) -> Dict:
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return {"format": TUNE_DB_VERSION, "entries": {}}
+        if data.get("format") != TUNE_DB_VERSION:
+            return {"format": TUNE_DB_VERSION, "entries": {}}
+        if not isinstance(data.get("entries"), dict):
+            data["entries"] = {}
+        return data
+
+    def _write(self, data: Dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(data, indent=2) + "\n")
+        os.replace(tmp, self.path)
+
+    # -- records ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The stored record for ``key``, or None."""
+        return self._read()["entries"].get(key)
+
+    def get_config(self, key: str) -> Optional[TuningConfig]:
+        """Just the winning configuration for ``key``, or None."""
+        record = self.get(key)
+        if record is None:
+            return None
+        try:
+            return TuningConfig.from_dict(record["config"])
+        except (KeyError, TypeError, ValueError):
+            return None                 # corrupt record: treat as miss
+
+    def put(self, key: str, record: Dict) -> None:
+        data = self._read()
+        record = dict(record)
+        record.setdefault("stored_at", time.time())
+        data["entries"][key] = record
+        self._write(data)
+
+    def delete(self, key: str) -> bool:
+        data = self._read()
+        if key not in data["entries"]:
+            return False
+        del data["entries"][key]
+        self._write(data)
+        return True
+
+    def clear(self) -> int:
+        """Drop every record; returns how many were removed."""
+        data = self._read()
+        removed = len(data["entries"])
+        data["entries"] = {}
+        self._write(data)
+        return removed
+
+    def entries(self) -> Dict[str, Dict]:
+        return dict(self._read()["entries"])
+
+    def __len__(self) -> int:
+        return len(self._read()["entries"])
