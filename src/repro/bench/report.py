@@ -190,14 +190,22 @@ def format_perf_table(report: Dict) -> str:
         f"{cfg['n_steps']} steps, dt={cfg['dt']}, "
         f"{cfg['threads']} threads "
         f"({machine.get('available_cpus', '?')} cpus available)",
-        f"{'variant':<14} {'construct':>11} {'run':>11} {'total':>11} "
+        f"{'variant':<14} {'construct':>11} {'run':>11} {'compute':>11} "
+        f"{'overhead':>11} {'total':>11} "
         f"{'Mcell-steps/s':>14} {'speedup':>8}",
     ]
     for v in report["variants"]:
         total = v["construct_seconds"] + v["run_seconds"]
+        compute = v.get("compute_seconds")
+        overhead = v.get("overhead_seconds")
+        compute_text = (f"{compute * 1e3:>9.1f}ms" if compute is not None
+                        else f"{'-':>11}")
+        overhead_text = (f"{overhead * 1e3:>9.1f}ms" if overhead is not None
+                         else f"{'-':>11}")
         lines.append(
             f"{v['name']:<14} {v['construct_seconds'] * 1e3:>9.1f}ms "
-            f"{v['run_seconds'] * 1e3:>9.1f}ms {total * 1e3:>9.1f}ms "
+            f"{v['run_seconds'] * 1e3:>9.1f}ms "
+            f"{compute_text} {overhead_text} {total * 1e3:>9.1f}ms "
             f"{v['cell_steps_per_second'] / 1e6:>14.2f} "
             f"{speedups[v['name']]['total']:>7.2f}x")
     extra = speedups.get("sharded", {}).get("vs_fused_run")

@@ -19,9 +19,20 @@ Subcommands:
   (``--model``), run the BENCH_PR3 ablation (``--report``), or clear
   the persistent tuning DB (``--clear``);
 * ``cache-stats`` — kernel-cache and LUT-cache statistics;
+* ``trace MODEL`` — compile + run one model under the tracer and emit
+  the span tree (parse -> frontend -> irgen -> passes -> lowering ->
+  run, with per-pass op-count deltas) plus Chrome trace-event JSON
+  loadable in ``chrome://tracing`` / https://ui.perfetto.dev;
+  ``--profile`` adds the measured per-op hot table;
+* ``metrics`` — run a small representative workload and dump the
+  process metrics registry (``--json`` snapshot or ``--prom``
+  Prometheus text exposition);
 * ``faults`` — the fault-injection drill: deterministically break a
   pass, corrupt IR, poison a run with NaNs and fail backends, then
   check the resilience layer recovers from every one.
+
+Setting ``$LIMPET_TRACE=<dir>`` captures a Chrome trace from *any*
+subcommand into ``<dir>/trace-<command>-<pid>.json``.
 
 Exit codes are structured for CI: 0 success, 1 result failure
 (mismatch / not vectorizable), 2 usage (argparse), 3 compiled only via
@@ -231,6 +242,37 @@ def build_parser() -> argparse.ArgumentParser:
                              help="delete all cached kernel entries")
     cache_stats.set_defaults(func=lambda args: cmd_cache_stats(
         args.cache_dir, args.clear))
+
+    trace_cmd = sub.add_parser(
+        "trace", help="compile + run one model under the tracer; "
+                      "emit the span tree and Chrome trace JSON")
+    _add_model_argument(trace_cmd)
+    trace_cmd.add_argument("--backend", default="limpet_mlir",
+                           choices=("baseline", "limpet_mlir", "icc_simd"))
+    trace_cmd.add_argument("--width", type=int, default=8,
+                           choices=(2, 4, 8))
+    trace_cmd.add_argument("--cells", type=_positive_int, default=256)
+    trace_cmd.add_argument("--steps", type=_positive_int, default=50)
+    trace_cmd.add_argument("--dt", type=_positive_float, default=0.01)
+    trace_cmd.add_argument("--out", default=None, metavar="PATH",
+                           help="trace-event JSON output path "
+                                "(default: trace_MODEL.json)")
+    trace_cmd.add_argument("--profile", action="store_true",
+                           help="lower in profile mode and print the "
+                                "measured per-op hot table")
+    trace_cmd.set_defaults(func=lambda args: cmd_trace(
+        args.model, args.backend, args.width, args.cells, args.steps,
+        args.dt, args.out, args.profile))
+
+    metrics_cmd = sub.add_parser(
+        "metrics", help="run a representative workload and dump the "
+                        "process metrics registry")
+    metrics_fmt = metrics_cmd.add_mutually_exclusive_group()
+    metrics_fmt.add_argument("--json", action="store_true",
+                             help="JSON snapshot (the default)")
+    metrics_fmt.add_argument("--prom", action="store_true",
+                             help="Prometheus text exposition format")
+    metrics_cmd.set_defaults(func=lambda args: cmd_metrics(args.prom))
 
     faults = sub.add_parser(
         "faults", help="fault-injection drill for the resilience layer")
@@ -507,6 +549,61 @@ def cmd_cache_stats(cache_dir: Optional[str], clear: bool) -> int:
     return EXIT_OK
 
 
+def cmd_trace(model_name: str, backend: str, width: int, cells: int,
+              steps: int, dt: float, out: Optional[str],
+              profile: bool) -> int:
+    from .obs import trace as _trace
+    from .runtime import KernelRunner
+    # the model registry caches parsed models; re-parse so the trace
+    # captures the parse/frontend spans too
+    load_model.cache_clear()
+    tracer = _trace.Tracer()
+    previous = _trace.activate(tracer)
+    try:
+        model = load_model(model_name)
+        generated = generate_variant(model, backend, width)
+        runner = KernelRunner(generated, profile=profile)
+        state = runner.make_state(cells)
+        runner.run(state, steps, dt)
+    finally:
+        _trace.deactivate(previous)
+    print(tracer.summary_tree())
+    if profile:
+        print()
+        print(runner.profile_report(invocations=steps).hot_table())
+    path = tracer.write(out or f"trace_{model_name}.json")
+    print(f"\ntrace written to {path} "
+          f"(load in chrome://tracing or ui.perfetto.dev)")
+    return EXIT_OK
+
+
+def cmd_metrics(prom: bool) -> int:
+    """Exercise cache / sharding / run paths, then dump the registry."""
+    import json as _json
+
+    from .codegen import generate_limpet_mlir
+    from .obs import metrics as _metrics
+    from .runtime import KernelRunner, ShardedRunner
+    from .runtime.kernel_cache import KernelCache
+    _metrics.reset()
+    model = load_model("Plonsey")
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = KernelCache(tmp)
+        # fresh generation per runner: the cache key hashes the
+        # pre-pipeline module, so the second build is a pure hit
+        KernelRunner(generate_limpet_mlir(model), cache=cache)
+        runner = KernelRunner(generate_limpet_mlir(model), cache=cache)
+        runner.run(runner.make_state(64), 20, 0.01)
+    with ShardedRunner(generate_limpet_mlir(model),
+                       n_threads=2) as sharded:
+        sharded.run(sharded.make_state(64), 10, 0.01)
+    if prom:
+        sys.stdout.write(_metrics.to_prometheus())
+    else:
+        print(_json.dumps(_metrics.snapshot(), indent=2))
+    return EXIT_OK
+
+
 # ---------------------------------------------------------------------------
 # The fault-injection drill (``limpet-bench faults``)
 # ---------------------------------------------------------------------------
@@ -625,6 +722,12 @@ def cmd_faults(smoke: bool = False,
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    trace_dir = os.environ.get("LIMPET_TRACE")
+    tracer = previous = None
+    if trace_dir:
+        from .obs import trace as _trace
+        tracer = _trace.Tracer()
+        previous = _trace.activate(tracer)
     try:
         return args.func(args)
     except BrokenPipeError:
@@ -632,6 +735,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
         return EXIT_OK
+    finally:
+        if tracer is not None:
+            from .obs import trace as _trace
+            _trace.deactivate(previous)
+            path = tracer.write(os.path.join(
+                trace_dir, f"trace-{args.command}-{os.getpid()}.json"))
+            print(f"trace written to {path}", file=sys.stderr)
 
 
 if __name__ == "__main__":

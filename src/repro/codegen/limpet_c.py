@@ -17,6 +17,7 @@ from ..ir.builder import IRBuilder
 from ..ir.core import Module, Value
 from ..ir.dialects import arith, func as func_dialect, memref, scf
 from ..ir.types import f64, index, memref_of
+from ..obs import trace as _trace
 from .common import BackendMode, ExprEmitter, GeneratedKernel, KernelSpec
 from .integrators import emit_state_updates
 from .layout import Layout, aos
@@ -40,6 +41,12 @@ def generate_baseline(model: IonicModel, use_lut: bool = True,
 
 
 def _emit(spec: KernelSpec) -> GeneratedKernel:
+    with _trace.span("irgen", model=spec.model.name,
+                     backend=spec.mode.value, width=spec.width):
+        return _emit_traced(spec)
+
+
+def _emit_traced(spec: KernelSpec) -> GeneratedKernel:
     model = spec.model
     layout: Layout = spec.layout
     module = Module(f"{model.name}_baseline")

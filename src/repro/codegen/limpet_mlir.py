@@ -32,6 +32,7 @@ from ..ir.core import Module, Value
 from ..ir.dialects import (arith, func as func_dialect, omp, scf,
                            vector as vector_dialect)
 from ..ir.types import f64, index, memref_of
+from ..obs import trace as _trace
 from .common import BackendMode, ExprEmitter, GeneratedKernel, KernelSpec
 from .integrators import emit_state_updates
 from .layout import Layout, LayoutKind, aos, aosoa, soa
@@ -89,6 +90,12 @@ def generate_icc_simd(model: IonicModel, width: int = 8,
 
 
 def _emit_vectorized(spec: KernelSpec) -> GeneratedKernel:
+    with _trace.span("irgen", model=spec.model.name,
+                     backend=spec.mode.value, width=spec.width):
+        return _emit_vectorized_traced(spec)
+
+
+def _emit_vectorized_traced(spec: KernelSpec) -> GeneratedKernel:
     model = spec.model
     if model.foreign_functions:
         from .common import UnsupportedModelError

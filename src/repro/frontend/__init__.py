@@ -12,12 +12,20 @@ __all__ = ["analyze", "Computation", "GateInfo", "IonicModel", "LUTTable",
 def load_model(source: str, name: str = "model"):
     """Parse + analyze EasyML source in one call."""
     from ..easyml import parse_model
+    from ..obs import trace as _trace
 
-    return analyze(parse_model(source, name))
+    with _trace.span("parse", model=name):
+        ast = parse_model(source, name)
+    with _trace.span("frontend", model=name):
+        return analyze(ast)
 
 
 def load_model_file(path):
     """Parse + analyze an EasyML ``.model`` file."""
     from ..easyml import parse_model_file
+    from ..obs import trace as _trace
 
-    return analyze(parse_model_file(path))
+    with _trace.span("parse", file=str(path)):
+        ast = parse_model_file(path)
+    with _trace.span("frontend", model=ast.name):
+        return analyze(ast)

@@ -1,10 +1,11 @@
 """IR passes: canonicalize, CSE, LICM, DCE, plus the pass manager."""
 
-from .pass_manager import Pass, PassManager, PassStatistics, default_pipeline
+from .pass_manager import (Pass, PassInstrumentation, PassManager,
+                           PassStatistics, default_pipeline)
 from .canonicalize import Canonicalize
 from .cse import CSE
 from .licm import LICM
 from .dce import DCE
 
-__all__ = ["Pass", "PassManager", "PassStatistics", "default_pipeline",
-           "Canonicalize", "CSE", "LICM", "DCE"]
+__all__ = ["Pass", "PassInstrumentation", "PassManager", "PassStatistics",
+           "default_pipeline", "Canonicalize", "CSE", "LICM", "DCE"]

@@ -29,6 +29,31 @@ class Pass:
         raise NotImplementedError
 
 
+class PassInstrumentation:
+    """Observation hooks fired around every pass execution.
+
+    The analog of MLIR's ``PassInstrumentation``: attach instances via
+    :meth:`PassManager.add_instrumentation` and they see every pass the
+    manager (or its sandboxed subclass) runs.  Hooks must not mutate
+    the module; concrete implementations (op-count deltas, trace spans,
+    ``--print-ir-after-all``-style dumps, pre-pass IR snapshots) live
+    in :mod:`repro.obs.passes`.
+    """
+
+    def before_pass(self, pass_: Pass, module: Module) -> None:
+        """Fired immediately before ``pass_.run(module)``."""
+
+    def after_pass(self, pass_: Pass, module: Module, changed: bool,
+                   seconds: float) -> None:
+        """Fired after a successful run (before per-pass verification)."""
+
+    def on_pass_error(self, pass_: Pass, module: Module,
+                      error: BaseException, seconds: float) -> None:
+        """Fired when a pass raised or verification rejected its output
+        (only reachable under the sandboxed manager, which contains the
+        failure; the plain manager propagates the exception)."""
+
+
 @dataclass
 class PassStatistics:
     """Per-pass bookkeeping accumulated by the pass manager."""
@@ -47,10 +72,32 @@ class PassManager:
         self.verify_each = verify_each
         self.max_iterations = max_iterations
         self.statistics: Dict[str, PassStatistics] = {}
+        self.instrumentations: List[PassInstrumentation] = []
 
     def add(self, pass_: Pass) -> "PassManager":
         self.passes.append(pass_)
         return self
+
+    def add_instrumentation(self, instr: PassInstrumentation
+                            ) -> "PassManager":
+        self.instrumentations.append(instr)
+        return self
+
+    # -- instrumentation fan-out (shared with the sandboxed subclass) ---------------
+
+    def _notify_before(self, pass_: Pass, module: Module) -> None:
+        for instr in self.instrumentations:
+            instr.before_pass(pass_, module)
+
+    def _notify_after(self, pass_: Pass, module: Module, changed: bool,
+                      seconds: float) -> None:
+        for instr in self.instrumentations:
+            instr.after_pass(pass_, module, changed, seconds)
+
+    def _notify_error(self, pass_: Pass, module: Module,
+                      error: BaseException, seconds: float) -> None:
+        for instr in self.instrumentations:
+            instr.on_pass_error(pass_, module, error, seconds)
 
     def fingerprint(self) -> str:
         """A stable content-address of this pipeline's behaviour.
@@ -73,13 +120,24 @@ class PassManager:
             for pass_ in self.passes:
                 stats = self.statistics.setdefault(pass_.name,
                                                    PassStatistics())
+                if self.instrumentations:
+                    self._notify_before(pass_, module)
                 start = time.perf_counter()
-                changed = pass_.run(module)
-                stats.seconds += time.perf_counter() - start
+                try:
+                    changed = pass_.run(module)
+                except BaseException as error:
+                    if self.instrumentations:
+                        self._notify_error(pass_, module, error,
+                                           time.perf_counter() - start)
+                    raise
+                seconds = time.perf_counter() - start
+                stats.seconds += seconds
                 stats.runs += 1
                 if changed:
                     stats.changed += 1
                     round_change = True
+                if self.instrumentations:
+                    self._notify_after(pass_, module, changed, seconds)
                 if self.verify_each:
                     verify_module(module)
             any_change = any_change or round_change

@@ -1,0 +1,29 @@
+"""Observability: trace spans, metrics, pass instrumentation, profiling.
+
+The unified measurement layer of the reproduction (DESIGN.md §8):
+
+* :mod:`repro.obs.trace` — nested wall-clock spans over the whole
+  compile-and-run pipeline, exported as Chrome trace-event JSON and a
+  plain-text tree (``limpet-bench trace``, ``$LIMPET_TRACE``);
+* :mod:`repro.obs.metrics` — process-wide counters/gauges/histograms
+  with JSON and Prometheus exports (``limpet-bench metrics``);
+* :mod:`repro.obs.passes` — concrete
+  :class:`~repro.ir.passes.PassInstrumentation` hooks (op-count
+  deltas, per-pass spans, ``--print-ir-after-all`` dumps, the
+  sandbox's pre-pass snapshots);
+* :mod:`repro.obs.profiler` — measured per-op kernel costs from
+  profile-mode lowering, feeding hot tables, the runtime cost model
+  and the roofline.
+
+Only :mod:`~repro.obs.trace` and :mod:`~repro.obs.metrics` are
+imported eagerly (they depend on nothing inside :mod:`repro`, so any
+subsystem may import them without cycles); ``passes`` and ``profiler``
+are reached as submodules.
+"""
+
+from . import metrics, trace
+from .metrics import MetricsRegistry, default_registry
+from .trace import Tracer, activate, active_tracer, deactivate
+
+__all__ = ["metrics", "trace", "MetricsRegistry", "default_registry",
+           "Tracer", "activate", "active_tracer", "deactivate"]

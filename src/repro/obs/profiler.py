@@ -1,0 +1,271 @@
+"""Measured per-op kernel profiling: hot tables + cost-model feedback.
+
+The lowering (``repro.runtime.lowering``) can emit kernels in
+**profile mode**: every op-emitting statement is bracketed by a pair
+of ``perf_counter`` reads accumulating into a per-statement slot of a
+preallocated counter array, with a *provenance* record mapping each
+slot back to the IR operation (and, through the op's result name hint,
+the EasyML source name) it was lowered from.  Crucially the compute
+statements themselves are textually unchanged, so a profiled run is
+**bitwise identical** to an unprofiled one — the clock reads happen
+between statements, never inside an expression.
+
+This module turns those raw counters into:
+
+* :class:`KernelProfileReport` — per-op measured seconds, top-N hot
+  table (``hot_table``), per-IR-op and per-cost-class aggregation;
+* :func:`measured_op_costs` / :func:`calibrated_cost_model` — feed the
+  *measured* per-element costs back into
+  :class:`~repro.machine.costmodel.PythonRuntimeCostModel`, replacing
+  its hand-calibrated constants for this workload;
+* :func:`measured_roofline_point` — a
+  :class:`~repro.machine.roofline.RooflinePoint` whose GFlops/s come
+  from measured wall time instead of the modeled bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..machine.arch import CASCADE_LAKE, Machine
+from ..machine.costmodel import PythonRuntimeCostModel
+from ..machine.instrument import (_EXP_CLASS, _INT_OPS, _POW_CLASS,
+                                  _SIMPLE_FP, KernelProfile)
+from ..machine.roofline import RooflinePoint, machine_ceilings
+
+__all__ = ["OpCost", "KernelProfileReport", "classify_op",
+           "measured_op_costs", "calibrated_cost_model",
+           "measured_roofline_point"]
+
+#: cost-model element classes a profiled statement can attribute to
+_MOVE_OPS = {"memref.load", "memref.store", "vector.load", "vector.store"}
+_GATHER_OPS = {"vector.gather", "vector.scatter"}
+_DIV_OPS = {"arith.divf", "arith.remf"}
+
+
+def classify_op(op_name: str, detail: Optional[str] = None) -> str:
+    """Map an IR op (+ call detail) onto a cost-model element class."""
+    if op_name == "func.call":
+        if detail and detail.startswith("LUT_"):
+            return "lut"
+        return "other"
+    if op_name in _DIV_OPS:
+        return "div"
+    if op_name in _SIMPLE_FP:
+        return "simple"
+    if op_name in _EXP_CLASS:
+        return "exp"
+    if op_name in _POW_CLASS:
+        return "pow"
+    if op_name in _MOVE_OPS:
+        return "move"
+    if op_name in _GATHER_OPS:
+        return "gather"
+    if op_name in _INT_OPS:
+        return "int"
+    return "other"
+
+
+@dataclass
+class OpCost:
+    """Measured cost of one lowered statement (one provenance slot)."""
+
+    index: int
+    op: str                        # IR operation name (e.g. math.exp)
+    dialect: str
+    seconds: float
+    source: Optional[str] = None   # EasyML name via the result hint
+    snippet: str = ""              # the lowered statement text
+    detail: Optional[str] = None   # callee for func.call statements
+
+    @property
+    def element_class(self) -> str:
+        return classify_op(self.op, self.detail)
+
+
+class KernelProfileReport:
+    """Aggregated view of one profiled kernel's measured counters."""
+
+    def __init__(self, entries: List[OpCost], model: str = "",
+                 invocations: int = 0):
+        self.entries = sorted(entries, key=lambda e: -e.seconds)
+        self.model = model
+        self.invocations = invocations
+        self.total_seconds = sum(e.seconds for e in entries)
+
+    @classmethod
+    def from_kernel(cls, kernel, model: str = "",
+                    invocations: int = 0) -> "KernelProfileReport":
+        """Build from a :class:`~repro.runtime.lowering.CompiledKernel`
+        lowered with ``profile=True`` (raises otherwise)."""
+        if kernel.profile_counters is None or kernel.provenance is None:
+            raise ValueError(
+                "kernel was not lowered in profile mode; construct the "
+                "runner with KernelRunner(..., profile=True)")
+        entries = [
+            OpCost(index=entry["index"], op=entry["op"],
+                   dialect=entry["dialect"],
+                   seconds=float(kernel.profile_counters[entry["index"]]),
+                   source=entry.get("source"),
+                   snippet=entry.get("text", ""),
+                   detail=entry.get("detail"))
+            for entry in kernel.provenance]
+        return cls(entries, model=model, invocations=invocations)
+
+    # -- aggregation --------------------------------------------------------------
+
+    def by_op(self) -> Dict[str, float]:
+        """Measured seconds aggregated by IR operation name."""
+        totals: Dict[str, float] = {}
+        for entry in self.entries:
+            totals[entry.op] = totals.get(entry.op, 0.0) + entry.seconds
+        return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
+
+    def by_dialect(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for entry in self.entries:
+            totals[entry.dialect] = (totals.get(entry.dialect, 0.0)
+                                     + entry.seconds)
+        return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
+
+    def by_class(self) -> Dict[str, float]:
+        """Measured seconds aggregated by cost-model element class."""
+        totals: Dict[str, float] = {}
+        for entry in self.entries:
+            cls_ = entry.element_class
+            totals[cls_] = totals.get(cls_, 0.0) + entry.seconds
+        return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
+
+    def class_statement_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for entry in self.entries:
+            cls_ = entry.element_class
+            counts[cls_] = counts.get(cls_, 0) + 1
+        return counts
+
+    def attributed_fraction(self, measured_compute_seconds: float) -> float:
+        """Share of an externally measured compute time the per-op
+        counters account for (acceptance bar: >= 0.95)."""
+        if measured_compute_seconds <= 0.0:
+            return 0.0
+        return self.total_seconds / measured_compute_seconds
+
+    # -- presentation -------------------------------------------------------------
+
+    def hot_table(self, top_n: int = 10) -> str:
+        """The top-N hot-op table: seconds, share, op, source name."""
+        head = f"hot ops — {self.model}" if self.model else "hot ops"
+        if self.invocations:
+            head += f" ({self.invocations} kernel calls)"
+        head += f", {self.total_seconds * 1e3:.2f} ms attributed"
+        lines = [head,
+                 f"{'seconds':>10} {'share':>7} {'cum':>7} "
+                 f"{'op':<18} {'source':<16} statement"]
+        total = max(self.total_seconds, 1e-12)
+        cumulative = 0.0
+        for entry in self.entries[:top_n]:
+            cumulative += entry.seconds
+            snippet = entry.snippet
+            if len(snippet) > 48:
+                snippet = snippet[:45] + "..."
+            lines.append(
+                f"{entry.seconds:>10.6f} {entry.seconds / total:>6.1%} "
+                f"{cumulative / total:>6.1%} {entry.op:<18} "
+                f"{(entry.source or '-'):<16} {snippet}")
+        remaining = len(self.entries) - top_n
+        if remaining > 0:
+            rest = sum(e.seconds for e in self.entries[top_n:])
+            lines.append(f"{rest:>10.6f} {rest / total:>6.1%} "
+                         f"{'100.0%':>7} (+{remaining} more)")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict:
+        return {"model": self.model,
+                "invocations": self.invocations,
+                "total_seconds": self.total_seconds,
+                "by_op": self.by_op(),
+                "by_class": self.by_class(),
+                "entries": [{"index": e.index, "op": e.op,
+                             "dialect": e.dialect, "seconds": e.seconds,
+                             "source": e.source, "snippet": e.snippet}
+                            for e in self.entries]}
+
+
+# ---------------------------------------------------------------------------
+# Feeding measured costs back into costmodel / roofline
+# ---------------------------------------------------------------------------
+
+#: element-class -> PythonRuntimeCostModel constant name
+_CLASS_TO_CONSTANT = {
+    "simple": "EL_SIMPLE_NS",
+    "div": "EL_DIV_NS",
+    "exp": "EL_EXP_NS",
+    "pow": "EL_POW_NS",
+    "move": "EL_MOVE_NS",
+    "gather": "EL_GATHER_NS",
+    "lut": "EL_LUT_COLUMN_NS",
+}
+
+
+def measured_op_costs(report: KernelProfileReport, n_cells: int,
+                      invocations: Optional[int] = None
+                      ) -> Dict[str, float]:
+    """Measured per-element nanoseconds by cost-model class.
+
+    Each class's attributed seconds are divided by the elements its
+    statements processed (statements × cells × invocations).  The
+    numbers include per-statement dispatch, so they are *effective*
+    per-element costs at this cell count — exactly what the runtime
+    cost model wants for ranking at the same workload shape.
+    """
+    invocations = invocations or report.invocations or 1
+    seconds = report.by_class()
+    statements = report.class_statement_counts()
+    costs: Dict[str, float] = {}
+    for cls_, secs in seconds.items():
+        n_stmt = statements.get(cls_, 0)
+        elements = n_stmt * max(n_cells, 1) * max(invocations, 1)
+        if elements:
+            costs[cls_] = secs / elements * 1e9
+    return costs
+
+
+def calibrated_cost_model(report: KernelProfileReport, n_cells: int,
+                          invocations: Optional[int] = None,
+                          machine: Machine = CASCADE_LAKE
+                          ) -> PythonRuntimeCostModel:
+    """A :class:`PythonRuntimeCostModel` whose per-element constants
+    are replaced by this report's measured values (classes the profile
+    never exercised keep the hand-calibrated defaults)."""
+    model = PythonRuntimeCostModel(machine)
+    for cls_, ns in measured_op_costs(report, n_cells, invocations).items():
+        constant = _CLASS_TO_CONSTANT.get(cls_)
+        if constant is not None and ns > 0.0:
+            setattr(model, constant, ns)
+    return model
+
+
+def measured_roofline_point(model_name: str, profile: KernelProfile,
+                            compute_seconds: float, n_cells: int,
+                            n_steps: int, machine: Machine = CASCADE_LAKE,
+                            size_class: str = "") -> RooflinePoint:
+    """A roofline placement from *measured* wall time.
+
+    ``profile`` supplies the per-cell flop/byte counts (static IR
+    instrumentation, as in the paper §4.5); ``compute_seconds`` is the
+    measured compute-stage time over ``n_steps`` steps of ``n_cells``
+    cells — e.g. ``RunResult.compute_seconds`` from a
+    ``time_breakdown`` run, or a profile report's ``total_seconds``.
+    """
+    flops_total = profile.flops_per_cell * n_cells * n_steps
+    bytes_per_cell = profile.bytes_per_cell
+    intensity = (profile.flops_per_cell / bytes_per_cell
+                 if bytes_per_cell else float("inf"))
+    gflops = flops_total / max(compute_seconds, 1e-12) / 1e9
+    ceilings = machine_ceilings(machine)
+    return RooflinePoint(model=model_name,
+                         operational_intensity=intensity,
+                         gflops=gflops,
+                         memory_bound=intensity < ceilings.ridge_point,
+                         size_class=size_class)

@@ -15,8 +15,9 @@ failing passes, unsupported models and diverging ODEs:
   so all of the above is testable (``limpet-bench faults``).
 """
 
-from .diagnostics import (Diagnostic, DivergenceEvent, HealthReport,
-                          Severity, format_trail)
+from .diagnostics import (LOGGER, Diagnostic, DivergenceEvent,
+                          HealthReport, Severity, format_trail,
+                          log_diagnostic)
 from .fallback import (DEFAULT_CHAIN, ResilientCompileError,
                        ResilientKernel, compile_resilient)
 from .faultinject import (FaultInjector, FaultPlan, InjectedFault,
@@ -27,8 +28,9 @@ from .watchdog import (POLICIES, NumericalDivergenceError,
                        NumericalWatchdog, WatchdogConfig)
 
 __all__ = [
-    "Diagnostic", "DivergenceEvent", "HealthReport", "Severity",
-    "format_trail", "DEFAULT_CHAIN", "ResilientCompileError",
+    "LOGGER", "Diagnostic", "DivergenceEvent", "HealthReport", "Severity",
+    "format_trail", "log_diagnostic",
+    "DEFAULT_CHAIN", "ResilientCompileError",
     "ResilientKernel", "compile_resilient", "FaultInjector", "FaultPlan",
     "InjectedFault", "poison_state", "SandboxedPassManager",
     "load_reproducer", "sandboxed_pipeline", "write_reproducer",

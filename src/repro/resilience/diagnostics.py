@@ -13,9 +13,17 @@ degrade gracefully.
 from __future__ import annotations
 
 import enum
+import logging
 import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
+
+#: every resilience diagnostic is also emitted on this logger, so user
+#: logging config (handlers, levels, formatters) sees the trail without
+#: touching the structured API; the NullHandler keeps an unconfigured
+#: process quiet (the CLI renders trails itself via ``format_trail``)
+LOGGER = logging.getLogger("repro.resilience")
+LOGGER.addHandler(logging.NullHandler())
 
 
 class Severity(enum.Enum):
@@ -78,6 +86,31 @@ class Diagnostic:
         kind = f" [{self.error_type}]" if self.error_type else ""
         return (f"{self.severity.value:<7} {self.stage}/{self.component}"
                 f"{kind}: {self.message}")
+
+
+_LOG_LEVELS = {Severity.INFO: logging.INFO,
+               Severity.WARNING: logging.WARNING,
+               Severity.ERROR: logging.ERROR}
+
+
+def log_diagnostic(diag: Diagnostic) -> Diagnostic:
+    """Emit ``diag`` on the ``repro.resilience`` logger and the active
+    trace, then return it (so call sites can append the same object to
+    their structured trail — the trail API is unchanged).
+
+    Severity maps onto logging levels (INFO/WARNING/ERROR); the trace
+    export is an instant event on the current span, so recovery
+    decisions show up inline in ``chrome://tracing`` timelines.
+    """
+    kind = f" [{diag.error_type}]" if diag.error_type else ""
+    LOGGER.log(_LOG_LEVELS.get(diag.severity, logging.WARNING),
+               "%s/%s%s: %s", diag.stage, diag.component, kind,
+               diag.message)
+    from ..obs import trace as _trace
+    _trace.instant(f"diagnostic:{diag.stage}/{diag.component}",
+                   severity=diag.severity.value, message=diag.message,
+                   error_type=diag.error_type)
+    return diag
 
 
 @dataclass

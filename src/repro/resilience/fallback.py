@@ -22,8 +22,10 @@ from ..codegen import (GeneratedKernel, UnsupportedModelError,
                        generate_limpet_mlir)
 from ..frontend.model import IonicModel
 from ..models import load_model
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..runtime import KernelRunner
-from .diagnostics import Diagnostic, Severity
+from .diagnostics import Diagnostic, Severity, log_diagnostic
 from .sandbox import SandboxedPassManager, sandboxed_pipeline
 
 #: the default tier order, strongest first
@@ -107,38 +109,43 @@ def compile_resilient(model: Union[str, IonicModel],
     for tier, backend in enumerate(chain):
         pipeline: Optional[SandboxedPassManager] = None
         try:
-            if inject is not None:
-                inject.maybe_fail_backend(backend)
-            kernel = _generate(model, backend, width, use_lut)
-            if sandbox:
-                pipeline = sandboxed_pipeline(reproducer_dir)
+            with _trace.span("compile_tier", model=model.name,
+                             backend=backend, tier=tier):
                 if inject is not None:
-                    inject.wrap_pipeline(pipeline)
-                runner = KernelRunner(kernel, optimize=True, verify=True,
-                                      pipeline=pipeline, **tune_kwargs)
-            else:
-                runner = KernelRunner(kernel, optimize=True, verify=True,
-                                      **tune_kwargs)
+                    inject.maybe_fail_backend(backend)
+                kernel = _generate(model, backend, width, use_lut)
+                if sandbox:
+                    pipeline = sandboxed_pipeline(reproducer_dir)
+                    if inject is not None:
+                        inject.wrap_pipeline(pipeline)
+                    runner = KernelRunner(kernel, optimize=True,
+                                          verify=True, pipeline=pipeline,
+                                          **tune_kwargs)
+                else:
+                    runner = KernelRunner(kernel, optimize=True,
+                                          verify=True, **tune_kwargs)
         except Exception as err:  # noqa: BLE001 - tier boundary
             if strict:
                 raise
             severity = (Severity.WARNING if isinstance(
                 err, UnsupportedModelError) else Severity.ERROR)
-            diagnostics.append(Diagnostic.from_exception(
+            diagnostics.append(log_diagnostic(Diagnostic.from_exception(
                 stage="compile", component=backend, exc=err,
                 severity=severity, with_traceback=not isinstance(
                     err, UnsupportedModelError),
-                tier=tier, model=model.name))
+                tier=tier, model=model.name)))
+            _metrics.counter("fallback_tier_skips_total",
+                             "backend tiers skipped by the chain").inc()
             continue
         if pipeline is not None:
             diagnostics.extend(pipeline.diagnostics)
-        diagnostics.append(Diagnostic(
+        diagnostics.append(log_diagnostic(Diagnostic(
             stage="compile", component=backend, severity=Severity.INFO,
             message=(f"compiled {model.name} via {backend!r}"
                      + (f" after {tier} skipped tier(s)" if tier else "")),
             data={"tier": tier, "model": model.name,
                   "quarantined": sorted(pipeline.quarantined)
-                  if pipeline else []}))
+                  if pipeline else []})))
         return ResilientKernel(model_name=model.name, backend=backend,
                                requested=chain[0], kernel=kernel,
                                runner=runner, diagnostics=diagnostics,

@@ -29,9 +29,10 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..ir.core import Module
 from ..ir.parser import parse_module
 from ..ir.passes.pass_manager import Pass, PassManager, PassStatistics
-from ..ir.printer import print_module
 from ..ir.verifier import VerificationError, verify_module
-from .diagnostics import Diagnostic, Severity
+from ..obs import metrics as _metrics
+from ..obs.passes import IRSnapshotInstrumentation
+from .diagnostics import Diagnostic, Severity, log_diagnostic
 
 
 def write_reproducer(directory: pathlib.Path, pass_name: str,
@@ -81,6 +82,13 @@ class SandboxedPassManager(PassManager):
     bundle is written.  The pipeline itself never raises for a
     quarantined pass; callers inspect :attr:`diagnostics` and
     :attr:`quarantined`.
+
+    Snapshots come through the shared
+    :class:`~repro.ir.passes.PassInstrumentation` hooks: an
+    :class:`~repro.obs.passes.IRSnapshotInstrumentation` captures the
+    printed pre-pass IR in ``before_pass`` (alongside any tracing or
+    op-count instruments the caller attached), and rollback re-parses
+    its ``last`` capture — there is no private snapshotting path.
     """
 
     def __init__(self, passes: Optional[List[Pass]] = None,
@@ -93,6 +101,8 @@ class SandboxedPassManager(PassManager):
         self.quarantined: Set[str] = set()
         self.diagnostics: List[Diagnostic] = []
         self.reproducers: List[pathlib.Path] = []
+        self._snapshots = IRSnapshotInstrumentation()
+        self.add_instrumentation(self._snapshots)
 
     # -- sandboxed execution -----------------------------------------------------
 
@@ -104,11 +114,13 @@ class SandboxedPassManager(PassManager):
             bundle = write_reproducer(self.reproducer_dir, pass_.name,
                                       snapshot, error, position)
             self.reproducers.append(bundle)
-        self.diagnostics.append(Diagnostic.from_exception(
+        self.diagnostics.append(log_diagnostic(Diagnostic.from_exception(
             stage=stage, component=pass_.name, exc=error,
             severity=Severity.WARNING,
             reproducer=str(bundle) if bundle else None,
-            pipeline_position=position))
+            pipeline_position=position)))
+        _metrics.counter("pass_quarantines_total",
+                         "passes quarantined by the sandbox").inc()
 
     def run(self, module: Module, fixed_point: bool = False) -> bool:
         """Run the pipeline with per-pass rollback; never raises for a
@@ -121,17 +133,21 @@ class SandboxedPassManager(PassManager):
                     continue
                 stats = self.statistics.setdefault(pass_.name,
                                                    PassStatistics())
-                snapshot = print_module(module)
+                self._notify_before(pass_, module)
+                snapshot = self._snapshots.last
                 start = time.perf_counter()
                 try:
                     changed = pass_.run(module)
                 except Exception as err:  # noqa: BLE001 - sandbox boundary
-                    stats.seconds += time.perf_counter() - start
+                    seconds = time.perf_counter() - start
+                    stats.seconds += seconds
                     stats.runs += 1
                     _rollback(module, snapshot)
                     self._quarantine(pass_, position, err, snapshot, "pass")
+                    self._notify_error(pass_, module, err, seconds)
                     continue
-                stats.seconds += time.perf_counter() - start
+                seconds = time.perf_counter() - start
+                stats.seconds += seconds
                 stats.runs += 1
                 try:
                     verify_module(module)
@@ -139,10 +155,12 @@ class SandboxedPassManager(PassManager):
                     _rollback(module, snapshot)
                     self._quarantine(pass_, position, err, snapshot,
                                      "verify")
+                    self._notify_error(pass_, module, err, seconds)
                     continue
                 if changed:
                     stats.changed += 1
                     round_change = True
+                self._notify_after(pass_, module, changed, seconds)
             any_change = any_change or round_change
             if not round_change:
                 break

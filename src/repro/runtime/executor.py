@@ -30,6 +30,8 @@ from ..frontend.model import IonicModel
 from ..ir.passes import default_pipeline
 from ..ir.passes.pass_manager import PassManager
 from ..ir.verifier import verify_module
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .kernel_cache import KernelCache, default_cache, kernel_cache_key
 from .lowering import (CompiledKernel, compile_kernel_source,
                        lower_function)
@@ -127,6 +129,13 @@ class KernelRunner:
     ``limpet-bench tune`` or :func:`repro.tuning.autotune` to populate
     the DB) and falls back to the passed-in kernel when there is no
     record, the record needs sharding, or the model is not registered.
+
+    ``profile`` lowers the kernel with per-statement clock bracketing
+    (see :mod:`repro.obs.profiler`): every compute statement's wall
+    time accumulates into the kernel's ``profile_counters``, retrieved
+    via :meth:`profile_report`.  Profiled kernels bypass the persistent
+    cache (their source differs from the cacheable form) and produce
+    bitwise-identical trajectories.
     """
 
     def __init__(self, generated: GeneratedKernel, optimize: bool = True,
@@ -134,7 +143,8 @@ class KernelRunner:
                  pipeline: Optional[PassManager] = None,
                  fuse: bool = True, arena: bool = False,
                  cache=None, tune: bool = False, tune_cells: int = 512,
-                 tune_dt: float = 0.01, tune_db=None):
+                 tune_dt: float = 0.01, tune_db=None,
+                 profile: bool = False):
         self.tuned_config = None
         if tune:
             generated, fuse, arena = self._tuned_variant(
@@ -146,8 +156,10 @@ class KernelRunner:
         self.pipeline = pipeline
         self.fuse = fuse
         self.arena = arena
+        self.profile = profile
         self.cache: Optional[KernelCache] = (
-            default_cache() if cache is True else cache or None)
+            None if profile
+            else default_cache() if cache is True else cache or None)
         self.cache_hit = False
         self.cache_key: Optional[str] = None
         self.kernel: CompiledKernel = self._build_kernel(
@@ -198,9 +210,12 @@ class KernelRunner:
         else:
             fingerprint = "none"
         if self.cache is not None:
-            self.cache_key = kernel_cache_key(
-                generated, fingerprint, self.fuse, self.arena, verify)
-            payload = self.cache.load(self.cache_key)
+            with _trace.span("cache_lookup",
+                             model=self.model.name) as look:
+                self.cache_key = kernel_cache_key(
+                    generated, fingerprint, self.fuse, self.arena, verify)
+                payload = self.cache.load(self.cache_key)
+                look.annotate(hit=payload is not None)
             if payload is not None:
                 self.cache_hit = True
                 return compile_kernel_source(
@@ -209,12 +224,26 @@ class KernelRunner:
                     payload["arg_names"], fused=payload["fused"],
                     arena=payload["arena"])
         if pipeline is not None:
-            pipeline.run(generated.module, fixed_point=True)
+            tracer = _trace.active_tracer()
+            if tracer is not None:
+                from ..obs.passes import TracePassInstrumentation
+                if not any(isinstance(i, TracePassInstrumentation)
+                           for i in pipeline.instrumentations):
+                    pipeline.add_instrumentation(
+                        TracePassInstrumentation(tracer))
+            with _trace.span("passes", model=self.model.name,
+                             pipeline=fingerprint):
+                pipeline.run(generated.module, fixed_point=True)
         if verify:
-            verify_module(generated.module)
-        kernel = lower_function(generated.module,
-                                generated.spec.function_name,
-                                fuse=self.fuse, arena=self.arena)
+            with _trace.span("verify", model=self.model.name):
+                verify_module(generated.module)
+        with _trace.span("lowering", model=self.model.name,
+                         fuse=self.fuse, arena=self.arena,
+                         profile=self.profile):
+            kernel = lower_function(generated.module,
+                                    generated.spec.function_name,
+                                    fuse=self.fuse, arena=self.arena,
+                                    profile=self.profile)
         if self.cache is not None and self.cache_key is not None:
             self.cache.store(self.cache_key, kernel.source, kernel.mode,
                              kernel.width, kernel.arg_names,
@@ -320,6 +349,16 @@ class KernelRunner:
         benchmarks take their headline number from a plain run and use
         a separate breakdown run only for attribution.
         """
+        with _trace.span("run", model=self.model.name,
+                         n_cells=state.n_cells, n_steps=n_steps, dt=dt,
+                         guarded=watchdog is not None):
+            return self._run(state, n_steps, dt, stimulus, record_vm,
+                             watchdog, step_hook, time_breakdown)
+
+    def _run(self, state: SimulationState, n_steps: int, dt: float,
+             stimulus: Optional[Stimulus], record_vm: bool, watchdog,
+             step_hook: Optional[Callable[[SimulationState], None]],
+             time_breakdown: bool) -> RunResult:
         if watchdog is not None:
             return self._run_guarded(state, n_steps, dt, stimulus,
                                      record_vm, watchdog, step_hook)
@@ -421,6 +460,10 @@ class KernelRunner:
             event = DivergenceEvent(step=state.steps_done, time=state.time,
                                     dt=cur_dt, arrays=bad)
             report.events.append(event)
+            _metrics.counter("watchdog_nan_events_total",
+                             "NaN/Inf detections by the watchdog").inc()
+            _trace.instant("watchdog_divergence", step=state.steps_done,
+                           dt=cur_dt, arrays=list(bad))
             report.ok = False
             if config.policy == "raise":
                 report.final_dt = cur_dt
@@ -449,6 +492,9 @@ class KernelRunner:
                 del trace[trace_mark:]
             event.action = "rolled_back"
             report.retries += 1
+            _metrics.counter("watchdog_retries_total",
+                             "checkpoint rollbacks taken by the "
+                             "watchdog").inc()
             cur_dt = next_dt
         elapsed = _time.perf_counter() - start
         report.final_dt = cur_dt
@@ -458,6 +504,18 @@ class KernelRunner:
                          vm_trace=np.asarray(trace) if trace is not None
                          else None,
                          health=report)
+
+    def profile_report(self, invocations: int = 0):
+        """The per-op hot report for a ``profile=True`` runner.
+
+        Call after one or more :meth:`run` calls; the counters
+        accumulate across runs.  Raises ``ValueError`` on a runner that
+        was not built with ``profile=True``.
+        """
+        from ..obs.profiler import KernelProfileReport
+        return KernelProfileReport.from_kernel(self.kernel,
+                                               model=self.model.name,
+                                               invocations=invocations)
 
     def simulate(self, n_cells: int, n_steps: int, dt: float = 0.01,
                  stimulus: Optional[Stimulus] = None,

@@ -27,10 +27,12 @@ import hashlib
 import json
 import os
 import pathlib
+import threading
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from ..ir.printer import print_module
+from ..obs import metrics as _metrics
 
 #: bump to invalidate every existing cache entry at once
 CACHE_FORMAT_VERSION = 1
@@ -113,10 +115,14 @@ class KernelCache:
         except (OSError, ValueError):
             self.stats.misses += 1
             self._bump("misses")
+            _metrics.counter("kernel_cache_misses_total",
+                             "persistent kernel-cache misses").inc()
             return None
         path.touch()                      # refresh LRU recency
         self.stats.hits += 1
         self._bump("hits")
+        _metrics.counter("kernel_cache_hits_total",
+                         "persistent kernel-cache hits").inc()
         return payload
 
     def store(self, key: str, source: str, mode: str, width: int,
@@ -149,6 +155,8 @@ class KernelCache:
                 continue
             self.stats.evictions += 1
             self._bump("evictions")
+            _metrics.counter("kernel_cache_evictions_total",
+                             "persistent kernel-cache LRU evictions").inc()
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
@@ -169,17 +177,32 @@ class KernelCache:
         return self.root / "stats.json"
 
     def _bump(self, counter: str) -> None:
-        """Increment one persistent counter (best-effort)."""
+        """Increment one persistent counter (best-effort).
+
+        Written atomically via the same tmp-file + ``os.replace`` dance
+        as kernel payloads: concurrent sharded runs bump concurrently,
+        and a torn in-place write would corrupt ``stats.json`` for
+        every later reader.  The tmp name is pid+thread-unique (and not
+        ``*.json``, so the LRU scan never sees it); updates may still
+        race each other — last writer wins, counts are best-effort —
+        but the file is always valid JSON.
+        """
         path = self._stats_path()
         try:
             data = json.loads(path.read_text())
         except (OSError, ValueError):
             data = {}
         data[counter] = int(data.get(counter, 0)) + 1
+        tmp = path.with_name(
+            f"stats.{os.getpid()}.{threading.get_ident()}.tmp")
         try:
-            path.write_text(json.dumps(data))
+            tmp.write_text(json.dumps(data))
+            os.replace(tmp, path)
         except OSError:
-            pass
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
     def persistent_stats(self) -> CacheStats:
         """Counters accumulated across every process using this dir."""

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import math
 import re
+import time as _time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -102,6 +103,15 @@ class CompiledKernel:
     fused: bool = False
     #: the kernel's scratch-buffer arena (None unless arena mode)
     arena: Optional[BufferArena] = None
+    #: per-statement accumulated seconds (profile mode only); indexed
+    #: by the matching entry in :attr:`provenance`.  A plain list —
+    #: scalar ``list[i] += x`` is several times cheaper than a NumPy
+    #: indexed add, and the bookkeeping sits *outside* the timed
+    #: bracket, so keeping it cheap keeps attribution high.
+    profile_counters: Optional[List[float]] = None
+    #: per-statement provenance records (profile mode only): dicts with
+    #: ``index``/``op``/``dialect``/``source``/``text``/``detail``
+    provenance: Optional[List[Dict[str, Any]]] = None
 
     def __call__(self, *args, **kwargs):
         return self.fn(*args, **kwargs)
@@ -409,21 +419,34 @@ class _FunctionLowering:
     With ``arena`` set to a :class:`BufferArena`, statement-emitted
     vector ufuncs additionally write their results into preallocated
     per-slot scratch buffers (``out=``) reused across steps.
+
+    With ``profile`` enabled, every compute statement is bracketed by
+    two monotonic-clock reads whose difference accumulates into a
+    preallocated per-statement counter array (``_prof``), and a
+    provenance record maps each counter back to the defining IR op and
+    its EasyML source name.  The bracketing is purely additive — the
+    compute statements themselves are byte-identical to the unprofiled
+    lowering — so profiled runs stay bitwise identical.
     """
 
     def __init__(self, op: Operation, mode: str, width: int,
-                 fuse: bool = True, arena: bool = False):
+                 fuse: bool = True, arena: bool = False,
+                 profile: bool = False):
         self.op = op
         self.mode = mode
         self.width = width
         self.fuse = fuse
         self.arena = arena and mode != "scalar"
+        self.profile = profile
+        #: per-statement attribution records, in emission order
+        self.provenance: List[Dict[str, Any]] = []
         self.lines: List[str] = []
         self.indent = 1
         self.names: Dict[int, str] = {}
         self.counter = 0
-        #: value id -> (expression text, nesting depth), in def order
-        self.pending: Dict[int, Tuple[str, int]] = {}
+        #: value id -> (expression text, nesting depth, defining op),
+        #: in def order
+        self.pending: Dict[int, Tuple[str, int, Operation]] = {}
         self.arena_slots = 0
         #: > 0 while emitting inside a *Python* ``for`` body, where
         #: arena slots would alias across iterations
@@ -455,7 +478,7 @@ class _FunctionLowering:
         entry = self.pending.pop(id(value), None)
         if entry is not None:
             name = self.fresh(value)
-            self.line(f"{name} = {entry[0]}")
+            self._emit_stmt(f"{name} = {entry[0]}", entry[2])
             return name
         return self.name_of(value)
 
@@ -472,6 +495,27 @@ class _FunctionLowering:
     def line(self, text: str) -> None:
         self.lines.append("    " * self.indent + text)
 
+    def _emit_stmt(self, text: str, op: Operation,
+                   detail: Optional[str] = None) -> None:
+        """Emit one compute statement, clock-bracketed in profile mode.
+
+        The timer reads sit *between* statements, never inside an
+        expression, so the statement text (and hence the numerics) is
+        unchanged from the unprofiled lowering.
+        """
+        if not self.profile:
+            self.line(text)
+            return
+        idx = len(self.provenance)
+        source = op.results[0].name_hint if op.results else None
+        self.provenance.append({
+            "index": idx, "op": op.name, "dialect": op.dialect,
+            "source": source, "text": text.strip(), "detail": detail,
+        })
+        self.line("_pt = _clock()")
+        self.line(text)
+        self.line(f"_prof[{idx}] += _clock() - _pt")
+
     # -- fusion ------------------------------------------------------------------
 
     def _flush_pending(self) -> None:
@@ -483,11 +527,11 @@ class _FunctionLowering:
         iteration (or skip LICM's work).  Definition order is emission
         order, so operands are always bound first.
         """
-        for value_id, (text, _) in list(self.pending.items()):
+        for value_id, (text, _, owner) in list(self.pending.items()):
             name = f"v{self.counter}"
             self.counter += 1
             self.names[value_id] = name
-            self.line(f"{name} = {text}")
+            self._emit_stmt(f"{name} = {text}", owner)
         self.pending.clear()
 
     def _defer_or_assign(self, op: Operation, text: str,
@@ -495,9 +539,9 @@ class _FunctionLowering:
         """Defer a pure op's result for inlining, or assign it."""
         result = op.results[0]
         if self.fuse and result.num_uses == 1 and depth <= MAX_FUSE_DEPTH:
-            self.pending[id(result)] = (text, depth)
+            self.pending[id(result)] = (text, depth, op)
             return
-        self.line(f"{self.fresh(result)} = {text}")
+        self._emit_stmt(f"{self.fresh(result)} = {text}", op)
 
     # -- entry --------------------------------------------------------------------
 
@@ -588,7 +632,8 @@ class _FunctionLowering:
         operands = [self.use(v) for v in op.operands]
         result = op.results[0]
         if self.fuse and result.num_uses == 1 and depth <= MAX_FUSE_DEPTH:
-            self.pending[id(result)] = (template.format(*operands), depth)
+            self.pending[id(result)] = (template.format(*operands), depth,
+                                        op)
             return
         if self.arena and self.loop_depth == 0 \
                 and name in _ARENA_UFUNCS \
@@ -596,10 +641,11 @@ class _FunctionLowering:
             slot = self.arena_slots
             self.arena_slots += 1
             args = ", ".join(operands)
-            self.line(f"{self.fresh(result)} = {_ARENA_UFUNCS[name]}"
-                      f"({args}, out=_arena.out({slot}, {args}))")
+            self._emit_stmt(f"{self.fresh(result)} = {_ARENA_UFUNCS[name]}"
+                            f"({args}, out=_arena.out({slot}, {args}))", op)
             return
-        self.line(f"{self.fresh(result)} = {template.format(*operands)}")
+        self._emit_stmt(f"{self.fresh(result)} = "
+                        f"{template.format(*operands)}", op)
 
     # -- leaf ops -----------------------------------------------------------------
 
@@ -635,14 +681,14 @@ class _FunctionLowering:
         else:
             call = f"{_sanitize(callee)}({operands})"
         if not op.results:
-            self.line(call)
+            self._emit_stmt(call, op, detail=callee)
             return
         results = ", ".join(self.fresh(r) for r in op.results)
         if callee.startswith("LUT_interpRow"):
             # the LUT runtime returns a tuple of columns even for a
             # single-column table: force sequence unpacking
             results += ","
-        self.line(f"{results} = {call}")
+        self._emit_stmt(f"{results} = {call}", op, detail=callee)
 
     def _lower_special(self, op: Operation) -> None:
         n = self.use
@@ -666,33 +712,36 @@ class _FunctionLowering:
             base, *idx = op.operands
             indices = ", ".join(n(v) for v in idx)
             result = self.fresh(op.results[0])
-            self.line(f"{result} = {n(base)}[{indices}]")
+            self._emit_stmt(f"{result} = {n(base)}[{indices}]", op)
         elif name == "memref.store":
             value, base, *idx = op.operands
             text = n(value)
             indices = ", ".join(n(v) for v in idx)
-            self.line(f"{n(base)}[{indices}] = {text}")
+            self._emit_stmt(f"{n(base)}[{indices}] = {text}", op)
         elif name == "vector.load":
             base, *idx = op.operands
             result = self.fresh(op.results[0])
-            self.line(f"{result} = {n(base)}[_vb({n(idx[0])}) + _lanes]")
+            self._emit_stmt(f"{result} = {n(base)}"
+                            f"[_vb({n(idx[0])}) + _lanes]", op)
         elif name == "vector.store":
             value, base, *idx = op.operands
             text = n(value)
-            self.line(f"_vstore({n(base)}, _vb({n(idx[0])}) + _lanes, "
-                      f"{text})")
+            self._emit_stmt(f"_vstore({n(base)}, _vb({n(idx[0])}) + "
+                            f"_lanes, {text})", op)
         elif name == "vector.gather":
             base, idx = op.operands[0], op.operands[1]
             extra = ""
             if len(op.operands) == 4:
                 extra = f", {n(op.operands[2])}, {n(op.operands[3])}"
             result = self.fresh(op.results[0])
-            self.line(f"{result} = _vgather({n(base)}, {n(idx)}{extra})")
+            self._emit_stmt(f"{result} = _vgather({n(base)}, "
+                            f"{n(idx)}{extra})", op)
         elif name == "vector.scatter":
             value, base, idx = op.operands[0], op.operands[1], op.operands[2]
             text = n(value)
             extra = f", {n(op.operands[3])}" if len(op.operands) == 4 else ""
-            self.line(f"_vscatter({n(base)}, {n(idx)}, {text}{extra})")
+            self._emit_stmt(f"_vscatter({n(base)}, {n(idx)}, "
+                            f"{text}{extra})", op)
         elif name == "vector.broadcast":
             depth = 1 + self._depth_of(op.operands[0])
             self._defer_or_assign(op, f"_vb({n(op.operands[0])})", depth)
@@ -745,8 +794,8 @@ class _FunctionLowering:
                     "vector cell loop cannot carry iter_args")
             # Flatten: all blocks execute at once; the induction variable
             # becomes the array of block start indices.
-            self.line(f"{iv_name} = np.arange({lb}, {ub}, {step}, "
-                      f"dtype=np.int64)")
+            self._emit_stmt(f"{iv_name} = np.arange({lb}, {ub}, {step}, "
+                            f"dtype=np.int64)", op)
             self._lower_block_body(body, acc_names)
             return
         self.line(f"for {iv_name} in range({lb}, {ub}, {step}):")
@@ -765,7 +814,11 @@ class _FunctionLowering:
         for inner in body.ops:
             if inner.name == "scf.yield":
                 for acc, value in zip(acc_names, inner.operands):
-                    self.line(f"{acc} = {self.use(value)}")
+                    # attribute the assignment to the pending defining
+                    # op when the yielded expression was fused into it
+                    entry = self.pending.get(id(value))
+                    owner = entry[2] if entry is not None else inner
+                    self._emit_stmt(f"{acc} = {self.use(value)}", owner)
                 continue
             self._lower_op(inner)
 
@@ -793,7 +846,9 @@ class _FunctionLowering:
         for inner in block.ops:
             if inner.name == "scf.yield":
                 for name, value in zip(result_names, inner.operands):
-                    self.line(f"{name} = {self.use(value)}")
+                    entry = self.pending.get(id(value))
+                    owner = entry[2] if entry is not None else inner
+                    self._emit_stmt(f"{name} = {self.use(value)}", owner)
                 continue
             self._lower_op(inner)
         if len(self.lines) == mark:
@@ -856,14 +911,18 @@ def compile_kernel_source(sym_name: str, source: str, mode: str, width: int,
 def lower_function(module: Module, sym_name: str,
                    mode: Optional[str] = None,
                    extra_globals: Optional[Dict] = None,
-                   fuse: bool = True, arena: bool = False) -> CompiledKernel:
+                   fuse: bool = True, arena: bool = False,
+                   profile: bool = False) -> CompiledKernel:
     """Lower one function of ``module`` to an executable Python kernel.
 
     ``fuse`` inlines single-use SSA values into compound expressions
     (bit-identical results, far fewer temporaries); ``arena`` opts the
     kernel into the preallocated ``out=`` scratch-buffer mode for
     multi-use vector values (see :class:`BufferArena` for the
-    single-thread restriction).
+    single-thread restriction); ``profile`` brackets every compute
+    statement with clock reads accumulating into the kernel's
+    :attr:`~CompiledKernel.profile_counters` (see
+    :mod:`repro.obs.profiler` for reporting).
     """
     func_op = module.lookup_func(sym_name)
     if func_op is None:
@@ -871,11 +930,21 @@ def lower_function(module: Module, sym_name: str,
     inferred_mode, width = _kernel_mode(func_op)
     mode = mode or inferred_mode
     lowering = _FunctionLowering(func_op, mode, width, fuse=fuse,
-                                 arena=arena)
+                                 arena=arena, profile=profile)
     source = lowering.lower()
     entry = func_op.regions[0].entry
     arg_names = [a.name_hint or f"arg{i}" for i, a in enumerate(entry.args)]
     use_arena = arena and mode != "scalar" and lowering.arena_slots > 0
-    return compile_kernel_source(sym_name, source, mode, width, arg_names,
-                                 fused=fuse, arena=use_arena,
-                                 extra_globals=extra_globals)
+    extra = dict(extra_globals or {})
+    counters = None
+    if profile:
+        counters = [0.0] * len(lowering.provenance)
+        extra["_prof"] = counters
+        extra["_clock"] = _time.perf_counter
+    kernel = compile_kernel_source(sym_name, source, mode, width, arg_names,
+                                   fused=fuse, arena=use_arena,
+                                   extra_globals=extra)
+    if profile:
+        kernel.profile_counters = counters
+        kernel.provenance = lowering.provenance
+    return kernel

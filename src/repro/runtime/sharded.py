@@ -31,6 +31,7 @@ from typing import List, Optional, Tuple
 
 from ..codegen.common import GeneratedKernel
 from ..ir.core import Module, Operation
+from ..obs import metrics as _metrics
 from .executor import KernelRunner
 from .state import SimulationState
 
@@ -136,6 +137,15 @@ class ShardedRunner(KernelRunner):
         bounds = shard_bounds(state.n_alloc, self.n_threads,
                               self.spec.width)
         self._shards = (state.n_alloc, bounds)
+        sizes = [end - start for start, end in bounds]
+        if sizes:
+            mean = sum(sizes) / len(sizes)
+            _metrics.gauge("shard_count",
+                           "shards of the latest decomposition"
+                           ).set(len(bounds))
+            _metrics.gauge("shard_imbalance_ratio",
+                           "largest shard / mean shard size"
+                           ).set(max(sizes) / mean if mean else 1.0)
         return bounds
 
     def compute_step(self, state: SimulationState, dt: float) -> None:

@@ -25,6 +25,8 @@ from typing import Dict, List, Optional, Union
 from ..bench.timing import TimingStats, interleaved_steady_state
 from ..frontend.model import IonicModel
 from ..models import load_model
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..runtime import KernelRunner, ShardedRunner
 from .costrank import PredictedCandidate, generate_for, predict_ranking
 from .database import TuningDB, tuning_db_key
@@ -242,8 +244,13 @@ def autotune(model: Union[str, IonicModel], n_cells: int = 512,
                                   predicted_rank=p.predicted_rank,
                                   is_default=p.config == default_config)
                   for p in chosen]
-    measurements = _measure_candidates(model, candidates, workload,
-                                       n_steps, repeats)
+    with _trace.span("tune", model=model.name, n_cells=n_cells, dt=dt,
+                     candidates=len(candidates)):
+        measurements = _measure_candidates(model, candidates, workload,
+                                           n_steps, repeats)
+    _metrics.counter("tuner_measurements_total",
+                     "timed samples taken by the autotuner"
+                     ).inc(measurements)
 
     # 4. pick + persist
     winner = _pick_winner(candidates)
