@@ -204,6 +204,9 @@ class SweepRecord:
     fell_back: bool = False
     seconds: Optional[float] = None
     health: Optional[HealthReport] = None
+    #: execution tier the run finished on (None = plain runner;
+    #: "supervised"/"threads"/"single" when workers were requested)
+    tier: Optional[str] = None
     diagnostics: List[Diagnostic] = field(default_factory=list)
 
     @property
@@ -221,7 +224,8 @@ def resilient_sweep(model_names: Optional[Sequence[str]] = None,
                     watchdog: Optional[WatchdogConfig] = None,
                     strict: bool = False,
                     reproducer_dir: Optional[pathlib.Path] = None,
-                    inject_factory: Optional[Callable[[str], object]] = None
+                    inject_factory: Optional[Callable[[str], object]] = None,
+                    workers: int = 0, supervision=None
                     ) -> List[SweepRecord]:
     """Run every model through the resilient compile-and-run pipeline.
 
@@ -231,6 +235,14 @@ def resilient_sweep(model_names: Optional[Sequence[str]] = None,
     captured as a :class:`SweepRecord` with diagnostics instead of
     aborting the sweep.  ``inject_factory(model_name)`` may return a
     :class:`~repro.resilience.FaultInjector` per model (fault drills).
+
+    ``workers > 1`` executes each model on the supervised multiprocess
+    tier (:class:`~repro.runtime.supervised.SupervisedRunner`,
+    configured by ``supervision``): worker crashes are retried and
+    supervision failures degrade down the tier ladder, so the sweep
+    completes under injected process faults too.  The injector's
+    :class:`~repro.resilience.FaultPlan` process-fault fields
+    (``kill_worker``/``stall_worker``) are honored per model.
     """
     names = list(model_names) if model_names is not None \
         else list(all_model_files())
@@ -254,10 +266,25 @@ def resilient_sweep(model_names: Optional[Sequence[str]] = None,
         record.fell_back = compiled.fell_back
         record.diagnostics.extend(compiled.diagnostics)
         hook = inject.step_hook if inject is not None else None
+        runner = compiled.runner
+        supervised = None
+        if workers > 1:
+            try:
+                from ..runtime.supervised import SupervisedRunner
+                supervised = SupervisedRunner(
+                    compiled.kernel, n_workers=workers,
+                    config=supervision,
+                    fault_plan=getattr(inject, "plan", None))
+                runner = supervised
+            except Exception as err:  # noqa: BLE001 - e.g. SoA refusal
+                record.diagnostics.append(Diagnostic.from_exception(
+                    stage="run", component="supervised", exc=err,
+                    severity=Severity.WARNING, with_traceback=False,
+                    model=name))
         try:
-            state = compiled.runner.make_state(n_cells)
-            result = compiled.runner.run(state, n_steps, dt,
-                                         watchdog=guard, step_hook=hook)
+            state = runner.make_state(n_cells)
+            result = runner.run(state, n_steps, dt,
+                                watchdog=guard, step_hook=hook)
         except NumericalDivergenceError as err:
             record.health = err.report
             record.diagnostics.append(Diagnostic.from_exception(
@@ -269,6 +296,11 @@ def resilient_sweep(model_names: Optional[Sequence[str]] = None,
                 stage="run", component=name, exc=err,
                 severity=Severity.ERROR))
             continue
+        finally:
+            if supervised is not None:
+                record.tier = supervised.tier
+                record.diagnostics.extend(supervised.diagnostics)
+                supervised.close()
         record.health = result.health
         record.seconds = result.elapsed_seconds
         record.ok = bool(result.health is None or result.health.ok)

@@ -28,16 +28,22 @@ Subcommands:
   process metrics registry (``--json`` snapshot or ``--prom``
   Prometheus text exposition);
 * ``faults`` — the fault-injection drill: deterministically break a
-  pass, corrupt IR, poison a run with NaNs and fail backends, then
+  pass, corrupt IR, poison a run with NaNs, fail backends, kill and
+  stall supervised workers, corrupt on-disk cache entries — then
   check the resilience layer recovers from every one.
 
+``run --workers N`` executes on the supervised multiprocess tier
+(crash-isolated worker processes over shared memory; see
+:mod:`repro.runtime.supervised`).
+
 Setting ``$LIMPET_TRACE=<dir>`` captures a Chrome trace from *any*
-subcommand into ``<dir>/trace-<command>-<pid>.json``.
+subcommand into ``<dir>/trace-<command>-<pid>.json``; SIGINT/SIGTERM
+reap workers, unlink shared memory and still flush the trace.
 
 Exit codes are structured for CI: 0 success, 1 result failure
 (mismatch / not vectorizable), 2 usage (argparse), 3 compiled only via
 a fallback tier, 4 compile failed outright, 5 numerical divergence
-unrecovered, 6 fault-injection drill failed.
+unrecovered, 6 fault-injection drill failed, 130 interrupted.
 """
 
 from __future__ import annotations
@@ -147,9 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("off", "raise", "halve_dt",
                                   "abort_cell_report"),
                          help="numerical watchdog policy (default: off)")
+    run_cmd.add_argument("--workers", type=_positive_int, default=None,
+                         help="run on the supervised multiprocess tier "
+                              "with this many crash-isolated worker "
+                              "processes (default: in-process)")
     run_cmd.set_defaults(func=lambda args: cmd_run(
         args.model, args.backend, args.width, args.cells, args.steps,
-        args.dt, args.strict, args.watchdog))
+        args.dt, args.strict, args.watchdog, args.workers))
 
     compare = sub.add_parser(
         "compare", help="baseline vs limpetMLIR: equivalence + speedup")
@@ -328,7 +338,7 @@ def cmd_ir(model_name: str, backend: str, width: int, pretty: bool,
 
 def cmd_run(model_name: str, backend: str, width: int, cells: int,
             steps: int, dt: float, strict: bool = False,
-            watchdog: str = "off") -> int:
+            watchdog: str = "off", workers: Optional[int] = None) -> int:
     chain = _CHAINS[backend]
     try:
         compiled = compile_resilient(model_name, chain=chain, width=width,
@@ -341,24 +351,35 @@ def cmd_run(model_name: str, backend: str, width: int, cells: int,
         print(f"{model_name}: compile failed ({type(err).__name__}): {err}",
               file=sys.stderr)
         return EXIT_COMPILE_FAILED
+    runner = compiled.runner
+    supervised = None
+    if workers and workers > 1:
+        from .runtime import SupervisedRunner
+        supervised = SupervisedRunner(compiled.kernel, n_workers=workers)
+        runner = supervised
     guard = None if watchdog == "off" else WatchdogConfig(policy=watchdog)
     try:
         result = None
         seconds = float("inf")
         for _ in range(3):              # the paper's best-of-N protocol
-            result = compiled.runner.simulate(cells, steps, dt,
-                                              watchdog=guard)
+            result = runner.simulate(cells, steps, dt, watchdog=guard)
             seconds = min(seconds, result.elapsed_seconds)
     except NumericalDivergenceError as err:
         print(err.report.summary())
         print(f"{model_name}: numerical divergence unrecovered: {err}",
               file=sys.stderr)
         return EXIT_NUMERICAL
+    finally:
+        if supervised is not None:
+            supervised.close()
     per_cell_step = seconds / (cells * steps) * 1e9
+    tier = f", {supervised.tier} x{workers}" if supervised else ""
     print(f"{model_name} [{compiled.backend}, width "
-          f"{compiled.kernel.spec.width}]: "
+          f"{compiled.kernel.spec.width}{tier}]: "
           f"{cells} cells x {steps} steps in {seconds * 1e3:.1f} ms "
           f"({per_cell_step:.1f} ns/cell-step)")
+    if supervised is not None and supervised.diagnostics:
+        print(format_trail(supervised.diagnostics))
     if result.health is not None:
         print(result.health.summary())
     if compiled.fell_back:
@@ -583,7 +604,8 @@ def cmd_metrics(prom: bool) -> int:
 
     from .codegen import generate_limpet_mlir
     from .obs import metrics as _metrics
-    from .runtime import KernelRunner, ShardedRunner
+    from .runtime import (KernelRunner, ShardedRunner, SupervisedRunner,
+                          multiprocess_supported)
     from .runtime.kernel_cache import KernelCache
     _metrics.reset()
     model = load_model("Plonsey")
@@ -597,6 +619,10 @@ def cmd_metrics(prom: bool) -> int:
     with ShardedRunner(generate_limpet_mlir(model),
                        n_threads=2) as sharded:
         sharded.run(sharded.make_state(64), 10, 0.01)
+    if multiprocess_supported():
+        with SupervisedRunner(generate_limpet_mlir(model),
+                              n_workers=2) as supervised:
+            supervised.run(supervised.make_state(64), 10, 0.01)
     if prom:
         sys.stdout.write(_metrics.to_prometheus())
     else:
@@ -672,25 +698,128 @@ def _drill_sweep(smoke: bool, reproducer_dir) -> str:
 
     def factory(name: str):
         # deterministic per-model faults: every 3rd model loses its
-        # strongest backend, every 4th gets a NaN poke mid-run
+        # strongest backend, every 4th gets a NaN poke mid-run,
+        # every 5th (and the second) has a worker crash mid-shard
         idx = names.index(name)
         plan = FaultPlan(
             fail_backends=("limpet_mlir",) if idx % 3 == 0 else (),
-            nan_at_step=20 if idx % 4 == 0 else None)
+            nan_at_step=20 if idx % 4 == 0 else None,
+            kill_worker=0 if idx % 5 == 1 else None,
+            kill_worker_at_task=2)
         return FaultInjector(plan)
 
     records = resilient_sweep(names, n_cells=16, n_steps=30,
                               watchdog=WatchdogConfig(check_interval=10),
                               reproducer_dir=reproducer_dir,
-                              inject_factory=factory)
+                              inject_factory=factory, workers=2)
     assert len(records) == len(names)
     failed = [r.model for r in records if not r.ok]
     assert not failed, "sweep records not ok:\n" + \
         format_sweep_table(records)
     n_fb = sum(1 for r in records if r.fell_back)
     n_rec = sum(1 for r in records if r.health and r.health.retries)
+    n_sup = sum(1 for r in records if r.tier == "supervised")
     return (f"sweep: {len(records)}/{len(names)} models completed "
-            f"({n_fb} via fallback, {n_rec} recovered by dt-halving)")
+            f"({n_fb} via fallback, {n_rec} recovered by dt-halving, "
+            f"{n_sup} on the supervised tier under worker kills)")
+
+
+def _drill_worker_crash() -> str:
+    """A killed worker must be respawned; the trajectory stays bitwise
+    identical to a single-process run."""
+    from .codegen import generate_limpet_mlir
+    from .runtime import (KernelRunner, SupervisedRunner,
+                          SupervisionConfig, multiprocess_supported)
+    if not multiprocess_supported():    # pragma: no cover - POSIX CI
+        return "worker crash: skipped (no fork/shared_memory)"
+    model = load_model("Plonsey")
+    plan = FaultPlan(kill_worker=0, kill_worker_at_task=2)
+    with SupervisedRunner(generate_limpet_mlir(model), n_workers=2,
+                          fault_plan=plan,
+                          config=SupervisionConfig(
+                              task_timeout=10.0)) as sup:
+        state = sup.make_state(24, perturbation=0.01)
+        sup.run(state, 60, 0.01)
+        assert sup.tier == "supervised", f"degraded to {sup.tier}"
+        restarts = [d for d in sup.diagnostics
+                    if "restarted worker" in d.message]
+        assert restarts, "worker kill did not trigger a restart"
+    base = KernelRunner(generate_limpet_mlir(model))
+    ref = base.make_state(24, perturbation=0.01)
+    base.run(ref, 60, 0.01)
+    comparison = compare_trajectories(ref, state, rtol=0, atol=0)
+    assert comparison, f"not bitwise: {comparison.describe()}"
+    return ("worker crash: killed worker respawned, shard retried, "
+            "trajectory bitwise identical")
+
+
+def _drill_worker_stall() -> str:
+    """A stalled heartbeat must be detected and the worker replaced."""
+    from .codegen import generate_limpet_mlir
+    from .runtime import (SupervisedRunner, SupervisionConfig,
+                          multiprocess_supported)
+    if not multiprocess_supported():    # pragma: no cover - POSIX CI
+        return "worker stall: skipped (no fork/shared_memory)"
+    plan = FaultPlan(stall_worker=1, stall_worker_at_task=2,
+                     stall_worker_seconds=20.0)
+    config = SupervisionConfig(heartbeat_interval=0.02,
+                               heartbeat_timeout=0.3, task_timeout=1.0)
+    with SupervisedRunner(generate_limpet_mlir(load_model("Plonsey")),
+                          n_workers=2, fault_plan=plan,
+                          config=config) as sup:
+        state = sup.make_state(24)
+        sup.run(state, 40, 0.01)
+        assert sup.tier == "supervised", f"degraded to {sup.tier}"
+        restarts = [d for d in sup.diagnostics
+                    if "restarted worker" in d.message]
+        assert restarts, "stalled heartbeat not detected"
+    return "worker stall: stale heartbeat detected, worker replaced"
+
+
+def _drill_degradation() -> str:
+    """Exhausted supervision retries must degrade down the tier ladder,
+    not fail the run."""
+    from .codegen import generate_limpet_mlir
+    from .runtime import (SupervisedRunner, SupervisionConfig,
+                          multiprocess_supported)
+    if not multiprocess_supported():    # pragma: no cover - POSIX CI
+        return "degradation: skipped (no fork/shared_memory)"
+    plan = FaultPlan(kill_worker=0, kill_worker_at_task=1)
+    config = SupervisionConfig(max_retries=0, task_timeout=5.0)
+    with SupervisedRunner(generate_limpet_mlir(load_model("Plonsey")),
+                          n_workers=2, fault_plan=plan,
+                          config=config) as sup:
+        state = sup.make_state(24)
+        result = sup.run(state, 40, 0.01)
+        assert result.n_steps == 40
+        assert sup.tier == "threads", f"expected threads, got {sup.tier}"
+        downgrades = [d for d in sup.diagnostics
+                      if "degrading" in d.message]
+        assert downgrades, "no degradation diagnostic recorded"
+    return ("degradation: retry budget exhausted -> thread tier, run "
+            "completed with a diagnostic trail")
+
+
+def _drill_cache_corruption() -> str:
+    """A corrupt on-disk cache entry must be quarantined and rebuilt."""
+    from .codegen import generate_limpet_mlir
+    from .resilience import corrupt_cache_entry
+    from .runtime import KernelRunner
+    from .runtime.kernel_cache import KernelCache
+    model = load_model("Plonsey")
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = KernelCache(tmp)
+        KernelRunner(generate_limpet_mlir(model), cache=cache)
+        corrupted = corrupt_cache_entry(cache, mode="truncate")
+        assert corrupted is not None, "no cache entry to corrupt"
+        runner = KernelRunner(generate_limpet_mlir(model), cache=cache)
+        assert not runner.cache_hit, "served a truncated entry"
+        stats = cache.persistent_stats()
+        assert stats.corrupt >= 1, "corrupt entry not quarantined"
+        rebuilt = KernelRunner(generate_limpet_mlir(model), cache=cache)
+        assert rebuilt.cache_hit, "rebuilt entry not re-cached"
+    return ("cache corruption: truncated entry quarantined, kernel "
+            "rebuilt and re-cached")
 
 
 def cmd_faults(smoke: bool = False,
@@ -703,6 +832,10 @@ def cmd_faults(smoke: bool = False,
             ("ir-corruption", lambda: _drill_ir_corruption(target)),
             ("runtime-nan", _drill_runtime_nan),
             ("fallback-foreign", lambda: _drill_fallback_foreign(smoke)),
+            ("worker-crash", _drill_worker_crash),
+            ("worker-stall", _drill_worker_stall),
+            ("degradation", _drill_degradation),
+            ("cache-corruption", _drill_cache_corruption),
             ("sweep", lambda: _drill_sweep(smoke, target)),
         ]
         failures = 0
@@ -720,16 +853,33 @@ def cmd_faults(smoke: bool = False,
     return EXIT_OK if failures == 0 else EXIT_FAULTS
 
 
+#: conventional exit code for a SIGINT-terminated process (128 + 2)
+EXIT_INTERRUPTED = 130
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    from .runtime import shutdown as _shutdown
     args = build_parser().parse_args(argv)
+    _shutdown.install_signal_handlers()
     trace_dir = os.environ.get("LIMPET_TRACE")
     tracer = previous = None
+    trace_path = None
     if trace_dir:
         from .obs import trace as _trace
         tracer = _trace.Tracer()
         previous = _trace.activate(tracer)
+        trace_path = os.path.join(
+            trace_dir, f"trace-{args.command}-{os.getpid()}.json")
+        # the signal handler flushes open spans and writes here, so an
+        # interrupted run still lands its trace on disk
+        _shutdown.set_trace_flush_path(trace_path)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # workers reaped, shm unlinked and trace flushed by the signal
+        # handler before KeyboardInterrupt was raised
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except BrokenPipeError:
         # downstream pager/head closed the pipe; not an error
         devnull = os.open(os.devnull, os.O_WRONLY)
@@ -738,9 +888,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         if tracer is not None:
             from .obs import trace as _trace
+            _shutdown.set_trace_flush_path(None)
             _trace.deactivate(previous)
-            path = tracer.write(os.path.join(
-                trace_dir, f"trace-{args.command}-{os.getpid()}.json"))
+            path = tracer.write(trace_path)
             print(f"trace written to {path}", file=sys.stderr)
 
 

@@ -25,6 +25,13 @@ bare gauges).  The canonical set, wired in this PR:
 ``shard_count``                 gauge: shards of the last sharded run
 ``shard_imbalance_ratio``       gauge: max/mean shard size
 ``pass_seconds``                histogram: per-pass wall time
+``worker_restarts_total``       supervised workers killed + respawned
+``shard_retries_total``         shard tasks re-dispatched after failure
+``degradations_total``          execution-tier downgrades taken
+``supervised_workers``          gauge: live supervised worker processes
+``kernel_cache_corrupt_total``  corrupt cache entries quarantined
+``tuning_db_corrupt_total``     corrupt tuning records/files quarantined
+``cache_memory_fallbacks_total`` persistent tiers degraded to in-memory
 ==============================  =======================================
 
 All mutation is lock-per-metric; creation is lock-on-registry.  The

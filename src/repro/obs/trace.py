@@ -108,6 +108,9 @@ class Tracer:
         self.roots: List[Span] = []
         self._stacks = threading.local()
         self._lock = threading.Lock()
+        # every thread's open-span stack, so flush() can force-end
+        # spans left open by an interrupt on any thread
+        self._all_stacks: Dict[int, List[Span]] = {}
 
     # -- span lifecycle -----------------------------------------------------------
 
@@ -116,7 +119,37 @@ class Tracer:
         if stack is None:
             stack = []
             self._stacks.stack = stack
+            with self._lock:
+                self._all_stacks[threading.get_ident()] = stack
         return stack
+
+    def flush(self) -> int:
+        """Force-end every open span on every thread (interrupt path).
+
+        An interrupted run leaves its ``with`` spans open; without this
+        they would never reach :attr:`roots` and the written trace
+        would silently drop the most interesting part.  Each dangling
+        span is ended *now*, annotated ``interrupted=True``, and rooted
+        outer-first so nesting survives.  Returns how many spans were
+        flushed.
+        """
+        now = time.perf_counter()
+        flushed = 0
+        with self._lock:
+            stacks = list(self._all_stacks.values())
+        for stack in stacks:
+            while stack:
+                dangling = stack.pop()
+                if dangling.end is None:
+                    dangling.end = now
+                dangling.annotate(interrupted=True)
+                if stack:
+                    stack[-1].children.append(dangling)
+                else:
+                    with self._lock:
+                        self.roots.append(dangling)
+                flushed += 1
+        return flushed
 
     def span(self, name: str, category: str = "", **args: Any) -> Span:
         """A new span context manager; nesting follows ``with`` scope."""

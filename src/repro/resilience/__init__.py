@@ -21,19 +21,21 @@ from .diagnostics import (LOGGER, Diagnostic, DivergenceEvent,
 from .fallback import (DEFAULT_CHAIN, ResilientCompileError,
                        ResilientKernel, compile_resilient)
 from .faultinject import (FaultInjector, FaultPlan, InjectedFault,
-                          poison_state)
+                          corrupt_cache_entry, poison_state)
 from .sandbox import (SandboxedPassManager, load_reproducer,
                       sandboxed_pipeline, write_reproducer)
-from .watchdog import (POLICIES, NumericalDivergenceError,
-                       NumericalWatchdog, WatchdogConfig)
+from .watchdog import (EXHAUSTED_POLICIES, POLICIES,
+                       NumericalDivergenceError, NumericalWatchdog,
+                       WatchdogConfig)
 
 __all__ = [
     "LOGGER", "Diagnostic", "DivergenceEvent", "HealthReport", "Severity",
     "format_trail", "log_diagnostic",
     "DEFAULT_CHAIN", "ResilientCompileError",
     "ResilientKernel", "compile_resilient", "FaultInjector", "FaultPlan",
-    "InjectedFault", "poison_state", "SandboxedPassManager",
+    "InjectedFault", "corrupt_cache_entry", "poison_state",
+    "SandboxedPassManager",
     "load_reproducer", "sandboxed_pipeline", "write_reproducer",
-    "POLICIES", "NumericalDivergenceError", "NumericalWatchdog",
-    "WatchdogConfig",
+    "POLICIES", "EXHAUSTED_POLICIES", "NumericalDivergenceError",
+    "NumericalWatchdog", "WatchdogConfig",
 ]

@@ -12,7 +12,12 @@ numerical watchdog are all testable:
 * **runtime NaNs** — a step hook poisons chosen cells of the state (or
   an external array) at a given executed step;
 * **backend failures** — a compile tier raises, forcing the chain to
-  fall through (how the bench exercises full-sweep survival).
+  fall through (how the bench exercises full-sweep survival);
+* **process faults** — a supervised worker dies (``os._exit``) or
+  stalls its heartbeat mid-shard, exercising the restart/retry path of
+  :class:`~repro.runtime.supervised.SupervisedRunner`;
+* **on-disk corruption** — :func:`corrupt_cache_entry` scrambles a
+  persisted cache entry so the checksum-quarantine path is provable.
 
 ``limpet-bench faults`` drives these scenarios end-to-end from the CLI.
 """
@@ -50,6 +55,16 @@ class FaultPlan:
     nan_cells: Tuple[int, ...] = (0,)
     #: the poison value (NaN by default; use np.inf for overflow-style)
     nan_value: float = float("nan")
+    #: supervised worker slot that crashes (``os._exit``) mid-shard
+    kill_worker: Optional[int] = None
+    #: ... on this (1-based) task dispatched to that worker
+    kill_worker_at_task: int = 1
+    #: supervised worker slot whose heartbeat (and task) stalls
+    stall_worker: Optional[int] = None
+    #: ... on this (1-based) task dispatched to that worker
+    stall_worker_at_task: int = 1
+    #: how long the stalled worker sleeps (parent should give up first)
+    stall_worker_seconds: float = 30.0
 
 
 class _FaultyPassProxy(Pass):
@@ -150,3 +165,46 @@ def poison_state(state, cells=(0,), array: str = "sv",
     injector = FaultInjector(plan)
     injector.step_hook(state)
     assert injector.fired
+
+
+def corrupt_cache_entry(target, mode: str = "truncate"):
+    """Deterministically corrupt one persisted cache entry on disk.
+
+    ``target`` is a :class:`~repro.runtime.kernel_cache.KernelCache`,
+    a cache directory, or a single entry/DB file path.  ``mode`` is
+    ``truncate`` (torn write: the file ends mid-JSON) or ``scramble``
+    (bit rot: valid JSON, wrong checksum).  Returns the corrupted path,
+    or ``None`` when there was nothing to corrupt — so drills can
+    assert the fault actually landed.
+    """
+    import pathlib
+    if isinstance(target, (str, pathlib.PurePath)):
+        root = target                   # Path.root is "/" — don't use it
+    else:
+        root = getattr(target, "root", target)
+    path = pathlib.Path(root)
+    if path.is_dir():
+        entries = sorted(p for p in path.glob("*.json")
+                         if p.name != "stats.json")
+        if not entries:
+            return None
+        path = entries[0]
+    if not path.is_file():
+        return None
+    if mode == "truncate":
+        data = path.read_bytes()
+        path.write_bytes(data[:max(len(data) // 2, 1)])
+    elif mode == "scramble":
+        import json
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError:
+            payload = {}
+        if isinstance(payload, dict):
+            payload["checksum"] = "0" * 64
+            path.write_text(json.dumps(payload))
+        else:
+            path.write_text("{}")
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    return path

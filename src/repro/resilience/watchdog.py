@@ -13,6 +13,15 @@ and applies a configurable policy on divergence:
 * ``abort_cell_report`` — stop the run, keeping the last healthy
   checkpoint, and report which cells diverged.
 
+The ``halve_dt`` backoff is doubly bounded — a per-run retry budget
+(``max_retries``) and a dt floor (``min_dt``) — and what happens when
+the budget runs out is itself a policy (``exhausted_policy``): ``raise``
+fails fast with :class:`NumericalDivergenceError`, while
+``abort_report`` terminates the run cleanly at the last healthy
+checkpoint with a structured report (``budget_exhausted`` set, the
+diverged cells listed), so a persistently-NaN model in a sweep or a
+supervised fleet ends with data instead of an unhandled exception.
+
 Every decision lands in a :class:`~repro.resilience.diagnostics
 .HealthReport` attached to the run's result.
 """
@@ -29,6 +38,9 @@ from .diagnostics import HealthReport
 #: valid watchdog policies
 POLICIES = ("raise", "halve_dt", "abort_cell_report")
 
+#: valid actions when the halve_dt retry budget (or dt floor) runs out
+EXHAUSTED_POLICIES = ("raise", "abort_report")
+
 
 class NumericalDivergenceError(RuntimeError):
     """A run diverged and the policy said to fail (or backoff ran out)."""
@@ -44,18 +56,30 @@ class WatchdogConfig:
 
     policy: str = "halve_dt"
     check_interval: int = 25        # steps between NaN/Inf scans
-    max_retries: int = 4            # checkpoint rollbacks allowed
+    max_retries: int = 4            # per-run retry budget (rollbacks)
     dt_factor: float = 0.5          # dt multiplier per retry
-    min_dt: float = 1e-9            # never retry below this dt
+    min_dt: float = 1e-9            # dt floor: never retry below this
+    #: what to do when the retry budget or dt floor is exhausted:
+    #: "raise" (fail fast) or "abort_report" (terminate at the last
+    #: healthy checkpoint with a structured HealthReport)
+    exhausted_policy: str = "raise"
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
             raise ValueError(f"unknown watchdog policy {self.policy!r}; "
                              f"one of {POLICIES}")
+        if self.exhausted_policy not in EXHAUSTED_POLICIES:
+            raise ValueError(
+                f"unknown exhausted_policy {self.exhausted_policy!r}; "
+                f"one of {EXHAUSTED_POLICIES}")
         if self.check_interval < 1:
             raise ValueError("check_interval must be >= 1")
         if not 0.0 < self.dt_factor < 1.0:
             raise ValueError("dt_factor must be in (0, 1)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.min_dt <= 0.0:
+            raise ValueError("min_dt must be > 0 (the dt floor)")
 
 
 class NumericalWatchdog:

@@ -8,6 +8,12 @@ from .lowering import (LOWERING_VERSION, BufferArena, CompiledKernel,
 from .kernel_cache import (CacheStats, KernelCache, default_cache,
                            default_cache_dir, kernel_cache_key)
 from .sharded import ShardedRunner, shard_bounds
+from .supervised import (SupervisedExecutionError, SupervisedRunner,
+                         SupervisionConfig, close_all_runners,
+                         multiprocess_supported)
+from .locking import file_lock, locking_available
+from .shutdown import (install_signal_handlers, register_cleanup,
+                       run_cleanups, unregister_cleanup)
 from .lut_runtime import (LUTData, build_all_luts, build_lut,
                           lut_interp_row, lut_interp_row_vec)
 from .state import SimulationState, StateCheckpoint, allocate_state
@@ -22,7 +28,12 @@ __all__ = ["KernelRunner", "RunResult", "Stimulus", "TrajectoryComparison",
            "LOWERING_VERSION", "BufferArena", "compile_kernel_source",
            "CacheStats", "KernelCache", "default_cache",
            "default_cache_dir", "kernel_cache_key",
-           "ShardedRunner", "shard_bounds", "LUTData",
+           "ShardedRunner", "shard_bounds",
+           "SupervisedRunner", "SupervisedExecutionError",
+           "SupervisionConfig", "close_all_runners",
+           "multiprocess_supported", "file_lock", "locking_available",
+           "install_signal_handlers", "register_cleanup",
+           "run_cleanups", "unregister_cleanup", "LUTData",
            "build_all_luts", "build_lut", "lut_interp_row",
            "lut_interp_row_vec", "SimulationState", "StateCheckpoint",
            "allocate_state",

@@ -19,6 +19,22 @@ A hit skips passes, verification and lowering entirely: the cached
 source is exec'd directly.  Hit/miss/eviction counters persist in the
 cache directory (``stats.json``) so ``limpet-bench cache-stats`` can
 report across processes.
+
+Crash safety (the cache is shared by every process of a sweep, and by
+supervised worker processes):
+
+* every entry carries a **sha256 checksum** over its payload, verified
+  on read — a torn or tampered entry is **quarantined** (moved to
+  ``<root>/quarantine/``, recorded as a
+  :class:`~repro.resilience.diagnostics.Diagnostic` and a
+  ``kernel_cache_corrupt_total`` metric) instead of poisoning every
+  later consumer, then treated as a miss and rebuilt;
+* mutations (store, evict, stats bumps) run under an **advisory
+  ``flock``** (:mod:`repro.runtime.locking`) so concurrent writers
+  serialize — stats counts are exact, not best-effort;
+* an **unwritable cache root** (read-only ``$LIMPET_CACHE_DIR``, a
+  path under a file, a full disk) degrades to an in-memory dict with a
+  logged Diagnostic instead of raising at first write.
 """
 
 from __future__ import annotations
@@ -28,17 +44,22 @@ import json
 import os
 import pathlib
 import threading
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional
 
 from ..ir.printer import print_module
 from ..obs import metrics as _metrics
+from .locking import file_lock
 
 #: bump to invalidate every existing cache entry at once
-CACHE_FORMAT_VERSION = 1
+#: (v2: entries carry a payload checksum, verified on read)
+CACHE_FORMAT_VERSION = 2
 
 _ENV_DIR = "LIMPET_CACHE_DIR"
 _ENV_DISABLE = "LIMPET_KERNEL_CACHE"
+
+#: subdirectory corrupt entries are moved into (never scanned by LRU)
+QUARANTINE_DIR = "quarantine"
 
 
 @dataclass
@@ -50,6 +71,7 @@ class CacheStats:
     evictions: int = 0
     entries: int = 0
     bytes: int = 0
+    corrupt: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return asdict(self)
@@ -84,41 +106,138 @@ def kernel_cache_key(generated, pipeline_fingerprint: str,
     return hashlib.sha256(material.encode()).hexdigest()
 
 
+def payload_checksum(payload: Dict) -> str:
+    """sha256 over the canonical JSON of ``payload`` minus ``checksum``."""
+    material = {k: v for k, v in payload.items() if k != "checksum"}
+    return hashlib.sha256(
+        json.dumps(material, sort_keys=True).encode()).hexdigest()
+
+
 class KernelCache:
     """A directory of content-addressed lowered-kernel entries.
 
     Each entry is one JSON file ``<key>.json`` holding the lowered
     source and the metadata :func:`~repro.runtime.lowering.compile_kernel_source`
     needs.  The cache is LRU-bounded by entry count (file mtime is the
-    recency signal) and safe against corrupt entries (treated as a
-    miss and overwritten).
+    recency signal), checksum-verified on read (corrupt entries are
+    quarantined, not served), flock-serialized on write, and falls
+    back to an in-memory dict when the directory is unwritable.
     """
 
     def __init__(self, root, max_entries: int = 512):
         self.root = pathlib.Path(root)
         self.max_entries = max_entries
         self.stats = CacheStats()
-        self.root.mkdir(parents=True, exist_ok=True)
+        #: non-None once the cache degraded to memory-only operation
+        self._memory: Optional[Dict[str, Dict]] = None
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as err:
+            self._fall_back_to_memory(err)
+
+    # -- degraded (in-memory) mode -------------------------------------------------
+
+    def _fall_back_to_memory(self, error: BaseException) -> None:
+        """Degrade to an in-memory dict; record why, never raise."""
+        if self._memory is not None:
+            return
+        self._memory = {}
+        from ..resilience.diagnostics import (Diagnostic, Severity,
+                                              log_diagnostic)
+        log_diagnostic(Diagnostic.from_exception(
+            stage="cache", component="kernel_cache", exc=error,
+            severity=Severity.WARNING, with_traceback=False,
+            root=str(self.root)))
+        _metrics.counter(
+            "cache_memory_fallbacks_total",
+            "persistent tiers degraded to in-memory operation").inc()
+
+    @property
+    def in_memory(self) -> bool:
+        """True when the cache degraded to memory-only operation."""
+        return self._memory is not None
 
     # -- entries -----------------------------------------------------------------
 
     def _path(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.json"
 
+    def _lock_path(self) -> pathlib.Path:
+        return self.root / ".lock"
+
+    def _quarantine(self, path: pathlib.Path, reason: str) -> None:
+        """Move a corrupt entry aside so it cannot poison later reads."""
+        self.stats.corrupt += 1
+        target = None
+        try:
+            qdir = self.root / QUARANTINE_DIR
+            qdir.mkdir(parents=True, exist_ok=True)
+            target = qdir / path.name
+            os.replace(path, target)
+        except OSError:
+            try:                        # quarantine failed: drop instead
+                path.unlink()
+            except OSError:
+                pass
+        from ..resilience.diagnostics import (Diagnostic, Severity,
+                                              log_diagnostic)
+        log_diagnostic(Diagnostic(
+            stage="cache", component="kernel_cache",
+            message=f"quarantined corrupt entry {path.name}: {reason}",
+            severity=Severity.WARNING,
+            data={"entry": path.name,
+                  "quarantined_to": str(target) if target else None}))
+        _metrics.counter("kernel_cache_corrupt_total",
+                         "corrupt kernel-cache entries quarantined").inc()
+
     def load(self, key: str) -> Optional[Dict]:
-        """The cached payload for ``key``, or None (counts hit/miss)."""
+        """The cached payload for ``key``, or None (counts hit/miss).
+
+        A missing entry is a plain miss; an unreadable, torn, or
+        checksum-mismatching entry is quarantined first, then counted
+        as a miss.
+        """
+        if self._memory is not None:
+            payload = self._memory.get(key)
+            if payload is None:
+                self.stats.misses += 1
+                _metrics.counter("kernel_cache_misses_total",
+                                 "persistent kernel-cache misses").inc()
+                return None
+            self.stats.hits += 1
+            _metrics.counter("kernel_cache_hits_total",
+                             "persistent kernel-cache hits").inc()
+            return payload
         path = self._path(key)
+        payload = None
+        corrupt_reason = None
         try:
             payload = json.loads(path.read_text())
-            if payload.get("format") != CACHE_FORMAT_VERSION:
-                raise ValueError("stale cache format")
-        except (OSError, ValueError):
+            if not isinstance(payload, dict):
+                corrupt_reason = "payload is not an object"
+            elif payload.get("format") != CACHE_FORMAT_VERSION:
+                corrupt_reason = None       # stale format: silent miss
+                payload = None
+            elif payload.get("checksum") != payload_checksum(payload):
+                corrupt_reason = "checksum mismatch"
+        except FileNotFoundError:
+            pass
+        except (OSError, ValueError) as err:
+            if path.exists():
+                corrupt_reason = f"unreadable ({type(err).__name__})"
+        if corrupt_reason is not None:
+            self._quarantine(path, corrupt_reason)
+            payload = None
+        if payload is None:
             self.stats.misses += 1
             self._bump("misses")
             _metrics.counter("kernel_cache_misses_total",
                              "persistent kernel-cache misses").inc()
             return None
-        path.touch()                      # refresh LRU recency
+        try:
+            path.touch()                  # refresh LRU recency
+        except OSError:
+            pass
         self.stats.hits += 1
         self._bump("hits")
         _metrics.counter("kernel_cache_hits_total",
@@ -138,10 +257,23 @@ class KernelCache:
             "fused": fused,
             "arena": arena,
         }
+        payload["checksum"] = payload_checksum(payload)
+        if self._memory is not None:
+            self._memory[key] = payload
+            return
         tmp = self._path(key).with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload))
-        os.replace(tmp, self._path(key))
-        self._evict()
+        try:
+            with file_lock(self._lock_path()):
+                tmp.write_text(json.dumps(payload))
+                os.replace(tmp, self._path(key))
+                self._evict()
+        except OSError as err:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            self._fall_back_to_memory(err)
+            self._memory[key] = payload
 
     def _evict(self) -> None:
         entries = sorted((p for p in self.root.glob("*.json")
@@ -161,14 +293,19 @@ class KernelCache:
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0
-        for path in self.root.glob("*.json"):
-            if path.name == "stats.json":
-                continue
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                continue
+        if self._memory is not None:
+            removed = len(self._memory)
+            self._memory.clear()
+            return removed
+        with file_lock(self._lock_path()):
+            for path in self.root.glob("*.json"):
+                if path.name == "stats.json":
+                    continue
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    continue
         return removed
 
     # -- statistics --------------------------------------------------------------
@@ -177,27 +314,31 @@ class KernelCache:
         return self.root / "stats.json"
 
     def _bump(self, counter: str) -> None:
-        """Increment one persistent counter (best-effort).
+        """Increment one persistent counter.
 
-        Written atomically via the same tmp-file + ``os.replace`` dance
-        as kernel payloads: concurrent sharded runs bump concurrently,
-        and a torn in-place write would corrupt ``stats.json`` for
-        every later reader.  The tmp name is pid+thread-unique (and not
-        ``*.json``, so the LRU scan never sees it); updates may still
-        race each other — last writer wins, counts are best-effort —
-        but the file is always valid JSON.
+        Read-modify-write under the cache's advisory flock, written
+        atomically via tmp file + ``os.replace``: concurrent processes
+        serialize on the lock, so counts are exact, and a torn write
+        can never corrupt ``stats.json`` for later readers.  (If the
+        lock is unavailable the update still happens atomically and
+        merely degrades to best-effort, the pre-lock behaviour.)
         """
+        if self._memory is not None:
+            return
         path = self._stats_path()
-        try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError):
-            data = {}
-        data[counter] = int(data.get(counter, 0)) + 1
         tmp = path.with_name(
             f"stats.{os.getpid()}.{threading.get_ident()}.tmp")
         try:
-            tmp.write_text(json.dumps(data))
-            os.replace(tmp, path)
+            with file_lock(self._lock_path()):
+                try:
+                    data = json.loads(path.read_text())
+                    if not isinstance(data, dict):
+                        data = {}
+                except (OSError, ValueError):
+                    data = {}
+                data[counter] = int(data.get(counter, 0)) + 1
+                tmp.write_text(json.dumps(data))
+                os.replace(tmp, path)
         except OSError:
             try:
                 tmp.unlink()
@@ -206,18 +347,29 @@ class KernelCache:
 
     def persistent_stats(self) -> CacheStats:
         """Counters accumulated across every process using this dir."""
+        if self._memory is not None:
+            return CacheStats(hits=self.stats.hits,
+                              misses=self.stats.misses,
+                              evictions=self.stats.evictions,
+                              entries=len(self._memory),
+                              bytes=0, corrupt=self.stats.corrupt)
         try:
             data = json.loads(self._stats_path().read_text())
         except (OSError, ValueError):
             data = {}
         entries = [p for p in self.root.glob("*.json")
                    if p.name != "stats.json"]
+        quarantined = 0
+        qdir = self.root / QUARANTINE_DIR
+        if qdir.is_dir():
+            quarantined = sum(1 for _ in qdir.glob("*.json"))
         return CacheStats(
             hits=int(data.get("hits", 0)),
             misses=int(data.get("misses", 0)),
             evictions=int(data.get("evictions", 0)),
             entries=len(entries),
-            bytes=sum(p.stat().st_size for p in entries))
+            bytes=sum(p.stat().st_size for p in entries),
+            corrupt=quarantined)
 
 
 _DEFAULT_CACHE: Optional[KernelCache] = None

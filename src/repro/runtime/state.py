@@ -61,7 +61,10 @@ class SimulationState:
         full[:self.n_cells] = values
         # padding lanes replicate the last real cell so they stay finite
         full[self.n_cells:] = values[-1] if len(values) else 0.0
-        self.sv = pack_state(full, self.layout)
+        # in place: buffer identity is load-bearing — shared-memory
+        # views held by supervised workers and prebound kernel args
+        # must keep seeing this state
+        self.sv[...] = pack_state(full, self.layout)
 
     def external(self, name: str) -> np.ndarray:
         return self.externals[name][:self.n_cells]

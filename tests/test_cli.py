@@ -135,10 +135,15 @@ class TestFaultsCommand:
     def test_smoke_drill_passes(self, capsys):
         code, out = run_cli(capsys, "faults", "--smoke")
         assert code == 0
-        assert "5/5 scenarios passed" in out
+        assert "9/9 scenarios passed" in out
         assert "PASS pass-exception" in out
         assert "PASS runtime-nan" in out
+        assert "PASS worker-crash" in out
+        assert "PASS worker-stall" in out
+        assert "PASS degradation" in out
+        assert "PASS cache-corruption" in out
         assert "PASS sweep" in out
+        assert "supervised tier under worker kills" in out
 
     def test_reproducer_dir_is_honored(self, capsys, tmp_path):
         code, _ = run_cli(capsys, "faults", "--smoke",

@@ -256,18 +256,20 @@ class TestPreboundArgs:
         runner.run(state, 5, 0.01)
         assert runner._bound is bound   # same binding object: no rebuild
 
-    def test_set_state_invalidates_prebinding(self):
-        """set_state rebinds state.sv; stale args would step dead data."""
+    def test_set_state_keeps_buffer_identity(self):
+        """set_state writes in place: buffer identity is load-bearing
+        (shared-memory views held by supervised workers and prebound
+        kernel args must keep seeing this state)."""
         runner = make_runner("HodgkinHuxley")
         fresh = make_runner("HodgkinHuxley")
         state = runner.make_state(8)
-        runner.run(state, 5, 0.01)              # binds to the old sv
+        runner.run(state, 5, 0.01)              # binds to sv
         old_sv = state.sv
         mid = state.state_matrix()[:state.n_cells].copy()
-        state.set_state(mid)                    # same values, NEW buffer
-        assert state.sv is not old_sv
+        state.set_state(mid)                    # same values, SAME buffer
+        assert state.sv is old_sv
         runner.compute_step(state, 0.01)
-        assert runner._bound[3][4] is state.sv  # rebound to the new sv
+        assert runner._bound[3][4] is state.sv  # binding still valid
         # behavioral check: identical trajectory on a fresh runner whose
         # state never had its buffer swapped
         ref = fresh.make_state(8)
