@@ -6,11 +6,13 @@ from .harness import (PAPER_CELLS, PAPER_DT, PAPER_STEPS, VARIANTS,
                       kernel_profile, resilient_sweep, run_measured)
 from .perf import (CANONICAL_CELLS, CANONICAL_DT, CANONICAL_MODEL,
                    CANONICAL_STEPS, CANONICAL_WIDTH, PerfVariant,
-                   check_report, perf_report, write_report)
+                   check_report, check_sweep_report, combine_sweep_reports,
+                   perf_report, sweep_report, write_report)
 from .report import (THREAD_SWEEP, figure_isa_sweep, figure_roofline,
                      figure_scaling, figure_speedups, format_isa_sweep,
                      format_perf_table, format_scaling_table,
-                     format_speedup_table, sweep_average_geomean)
+                     format_speedup_table, format_sweep_report,
+                     sweep_average_geomean)
 from .timing import (TimingStats, geomean, interleaved_steady_state,
                      measure, steady_state, trimmed_mean)
 
@@ -20,7 +22,9 @@ __all__ = ["PAPER_CELLS", "PAPER_DT", "PAPER_STEPS", "VARIANTS",
            "generate_variant", "kernel_profile", "run_measured",
            "CANONICAL_CELLS", "CANONICAL_DT", "CANONICAL_MODEL",
            "CANONICAL_STEPS", "CANONICAL_WIDTH", "PerfVariant",
-           "check_report", "perf_report", "write_report",
+           "check_report", "check_sweep_report", "combine_sweep_reports",
+           "perf_report", "sweep_report", "format_sweep_report",
+           "write_report",
            "THREAD_SWEEP", "figure_isa_sweep", "figure_roofline",
            "figure_scaling", "figure_speedups", "format_isa_sweep",
            "format_perf_table", "format_scaling_table",

@@ -58,6 +58,9 @@ class PerfVariant:
     run_seconds_iqr: float = 0.0
     compute_seconds: Optional[float] = None
     overhead_seconds: Optional[float] = None
+    #: population batch instances advanced per kernel call (1 for
+    #: ordinary variants; ``cell_steps_per_second`` includes it)
+    instances: int = 1
 
     @property
     def total_seconds(self) -> float:
@@ -203,6 +206,170 @@ def perf_report(model_name: str = CANONICAL_MODEL,
         "variants": [v.as_dict() for v in variants],
         "speedups_vs_baseline": speedups,
     }
+
+
+def sweep_report(model_name: str, params: Dict[str, str],
+                 cells_per_instance: int = 256,
+                 n_steps: int = 50, dt: float = CANONICAL_DT,
+                 runs: int = 5, width: int = CANONICAL_WIDTH,
+                 absolute: bool = False,
+                 check_steps: int = 40) -> Dict:
+    """Batched-sweep vs loop-of-N benchmark (the BENCH_PR7 numbers).
+
+    Times the same N-instance parameter sweep two ways with the *same*
+    promoted kernel, warm and single-threaded:
+
+    * ``loop``    — N sequential single-instance runs (the pre-PR
+      shape: one ``KernelRunner`` run per parameter point);
+    * ``batched`` — one :class:`~repro.population.PopulationRunner`
+      run over the flattened (instance × cell) axis.
+
+    A bitwise differential gate precedes the timing — every instance
+    of the batched run must equal its single-instance twin exactly —
+    and the report carries a compile-reuse proof (the second runner of
+    the same population shape hits the kernel cache).
+    """
+    import numpy as np
+
+    from ..population import PopulationRunner, PopulationSpec, \
+        load_promoted_model
+
+    names = tuple(dict.fromkeys(params))
+    promoted = load_promoted_model(model_name, names)
+    spec = PopulationSpec.from_ranges(promoted, params, absolute=absolute)
+    n = spec.n_instances
+    pop = PopulationRunner(promoted, spec, width=width)
+    runner = pop.runner_for(cells_per_instance)
+
+    def loop_states():
+        return [runner.make_state(
+            cells_per_instance,
+            param_values={name: float(vals[i])
+                          for name, vals in spec.values.items()})
+            for i in range(n)]
+
+    # -- bitwise differential gate ------------------------------------------------
+    check = pop.simulate(cells_per_instance, check_steps, dt)
+    for i, state in enumerate(loop_states()):
+        runner.run(state, check_steps, dt)
+        if not np.array_equal(check.instance_state_matrix(i),
+                              state.state_matrix()):
+            raise AssertionError(
+                f"batched instance {i} of {model_name} diverged bitwise "
+                f"from its single-instance run")
+
+    # -- timed: loop of N single-instance runs (warm kernel) ----------------------
+    loop_samples: list = []
+
+    def loop_sample():
+        elapsed = 0.0
+        for state in loop_states():
+            elapsed += runner.run(state, n_steps, dt).elapsed_seconds
+        loop_samples.append(elapsed)
+
+    steady_state(loop_sample, warmup=1, repeats=runs)
+    loop_stats = TimingStats(samples=loop_samples[1:])
+    loop = PerfVariant(
+        name="loop", construct_seconds=0.0,
+        run_seconds=loop_stats.median,
+        steps_per_second=n_steps / max(loop_stats.median, 1e-12),
+        cell_steps_per_second=(n_steps * n * cells_per_instance
+                               / max(loop_stats.median, 1e-12)),
+        run_seconds_iqr=loop_stats.iqr, instances=1)
+
+    # -- timed: one batched run over all instances --------------------------------
+    batched_samples: list = []
+
+    def batched_sample():
+        state = pop.make_state(cells_per_instance)
+        batched_samples.append(
+            pop.run(state, n_steps, dt).elapsed_seconds)
+
+    steady_state(batched_sample, warmup=1, repeats=runs)
+    batched_stats = TimingStats(samples=batched_samples[1:])
+    batched = PerfVariant(
+        name="batched", construct_seconds=0.0,
+        run_seconds=batched_stats.median,
+        steps_per_second=n_steps / max(batched_stats.median, 1e-12),
+        cell_steps_per_second=(n_steps * n * cells_per_instance
+                               / max(batched_stats.median, 1e-12)),
+        run_seconds_iqr=batched_stats.iqr, instances=n)
+
+    # -- compile reuse: same shape -> kernel-cache hit ----------------------------
+    from ..runtime import KernelCache
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        reuse_cache = KernelCache(tmp)
+        first = PopulationRunner(promoted, spec, width=width,
+                                 cache=reuse_cache)
+        first.runner_for(cells_per_instance)
+        cold_hit = first.cache_hit
+        second = PopulationRunner(promoted, spec, width=width,
+                                  cache=reuse_cache)
+        second.runner_for(cells_per_instance)
+        warm_hit = second.cache_hit
+        first.close()
+        second.close()
+    pop.close()
+
+    speedup = loop.run_seconds / max(batched.run_seconds, 1e-12)
+    return {
+        "benchmark": "BENCH_PR7",
+        "config": {"model": model_name, "params": dict(params),
+                   "absolute": absolute, "instances": n,
+                   "cells_per_instance": cells_per_instance,
+                   "n_steps": n_steps, "dt": dt, "runs": runs,
+                   "width": width, "threads": 1},
+        "machine": {"platform": platform.platform(),
+                    "python": platform.python_version(),
+                    "available_cpus": os.cpu_count() or 1},
+        "differential": "every batched instance bitwise-equals its "
+                        "single-instance run (np.array_equal)",
+        "variants": [loop.as_dict(), batched.as_dict()],
+        "speedup_batched_vs_loop": speedup,
+        "compile_reuse": {"first_build_cache_hit": cold_hit,
+                          "second_build_cache_hit": warm_hit},
+    }
+
+
+def check_sweep_report(report: Dict,
+                       min_speedup: float = 1.5) -> List[str]:
+    """CI assertions for one sweep report (or a combined ``models``
+    report): returns a list of failures (empty = ok)."""
+    if "models" in report:
+        failures: List[str] = []
+        for entry in report["models"]:
+            failures += check_sweep_report(entry, min_speedup)
+        return failures
+    failures = []
+    model = report["config"]["model"]
+    speedup = report.get("speedup_batched_vs_loop", 0.0)
+    if speedup < min_speedup:
+        failures.append(
+            f"{model}: batched sweep only {speedup:.3f}x vs loop "
+            f"(need >= {min_speedup}x)")
+    reuse = report.get("compile_reuse", {})
+    if reuse.get("first_build_cache_hit"):
+        failures.append(f"{model}: first build of the shape claimed a "
+                        f"cache hit (cache was supposed to be cold)")
+    if not reuse.get("second_build_cache_hit"):
+        failures.append(f"{model}: second build of the same population "
+                        f"shape missed the kernel cache")
+    variants = {v["name"]: v for v in report.get("variants", [])}
+    batched = variants.get("batched")
+    if batched is not None and \
+            batched["instances"] != report["config"]["instances"]:
+        failures.append(f"{model}: batched variant reports "
+                        f"{batched['instances']} instances, config says "
+                        f"{report['config']['instances']}")
+    return failures
+
+
+def combine_sweep_reports(reports: List[Dict]) -> Dict:
+    """Merge per-model sweep reports into one BENCH_PR7 document."""
+    machine = reports[0]["machine"] if reports else {}
+    return {"benchmark": "BENCH_PR7", "machine": machine,
+            "models": reports}
 
 
 def write_report(report: Dict, path) -> None:

@@ -202,8 +202,12 @@ def format_perf_table(report: Dict) -> str:
                         else f"{'-':>11}")
         overhead_text = (f"{overhead * 1e3:>9.1f}ms" if overhead is not None
                          else f"{'-':>11}")
+        # a population axis multiplies throughput: make it visible
+        name = v["name"]
+        if v.get("instances", 1) > 1:
+            name += f"[x{v['instances']}]"
         lines.append(
-            f"{v['name']:<14} {v['construct_seconds'] * 1e3:>9.1f}ms "
+            f"{name:<14} {v['construct_seconds'] * 1e3:>9.1f}ms "
             f"{v['run_seconds'] * 1e3:>9.1f}ms "
             f"{compute_text} {overhead_text} {total * 1e3:>9.1f}ms "
             f"{v['cell_steps_per_second'] / 1e6:>14.2f} "
@@ -212,6 +216,39 @@ def format_perf_table(report: Dict) -> str:
     if extra is not None:
         lines.append(f"sharded vs fused (run only): {extra:.2f}x "
                      f"at {cfg['threads']} threads")
+    return "\n".join(lines)
+
+
+def format_sweep_report(report: Dict) -> str:
+    """Render a :func:`repro.bench.perf.sweep_report` dict as a table.
+
+    Accepts a single-model report or a combined ``models`` document.
+    """
+    if "models" in report:
+        return "\n\n".join(format_sweep_report(entry)
+                           for entry in report["models"])
+    cfg = report["config"]
+    params = ", ".join(f"{k}={v}" for k, v in cfg["params"].items())
+    lines = [
+        f"BENCH_PR7 — {cfg['model']} sweep {params}: "
+        f"{cfg['instances']} instances x {cfg['cells_per_instance']} "
+        f"cells x {cfg['n_steps']} steps, dt={cfg['dt']}, single thread",
+        f"{'variant':<14} {'run':>11} {'iqr':>9} "
+        f"{'Mcell-steps/s':>14} {'instances':>10}",
+    ]
+    for v in report["variants"]:
+        lines.append(
+            f"{v['name']:<14} {v['run_seconds'] * 1e3:>9.1f}ms "
+            f"{v['run_seconds_iqr'] * 1e3:>7.1f}ms "
+            f"{v['cell_steps_per_second'] / 1e6:>14.2f} "
+            f"{v.get('instances', 1):>10}")
+    lines.append(f"batched vs loop-of-{cfg['instances']}: "
+                 f"{report['speedup_batched_vs_loop']:.2f}x")
+    reuse = report.get("compile_reuse", {})
+    lines.append(f"compile reuse (same shape): first build "
+                 f"{'hit' if reuse.get('first_build_cache_hit') else 'miss'}"
+                 f", second build "
+                 f"{'hit' if reuse.get('second_build_cache_hit') else 'miss'}")
     return "\n".join(lines)
 
 

@@ -18,6 +18,10 @@ Subcommands:
 * ``tune`` — the cost-model-guided kernel autotuner: tune one workload
   (``--model``), run the BENCH_PR3 ablation (``--report``), or clear
   the persistent tuning DB (``--clear``);
+* ``sweep MODEL --param NAME=lo:hi:N`` — population-batched parameter
+  sweep: one kernel advances all N parameter-perturbed instances,
+  timed against the loop-of-N shape it replaces (BENCH_PR7), with a
+  bitwise differential gate between the two;
 * ``cache-stats`` — kernel-cache and LUT-cache statistics;
 * ``trace MODEL`` — compile + run one model under the tracer and emit
   the span tree (parse -> frontend -> irgen -> passes -> lowering ->
@@ -241,6 +245,37 @@ def build_parser() -> argparse.ArgumentParser:
         args.model, args.cells, args.steps, args.dt, args.top_k,
         args.repeats, args.db, args.json, args.force, args.clear,
         args.report, args.check))
+
+    sweep_cmd = sub.add_parser(
+        "sweep", help="population-batched parameter sweep: one kernel "
+                      "advancing N parameter-perturbed instances, timed "
+                      "against the loop-of-N shape (BENCH_PR7)")
+    _add_model_argument(sweep_cmd)
+    sweep_cmd.add_argument("--param", action="append", default=None,
+                           metavar="NAME=lo:hi:N", dest="params",
+                           help="parameter range to sweep; repeatable. "
+                                "lo/hi scale the model default unless "
+                                "--absolute; N defaults to 16")
+    sweep_cmd.add_argument("--absolute", action="store_true",
+                           help="range bounds are absolute values, not "
+                                "multiples of the model default")
+    sweep_cmd.add_argument("--cells", type=_positive_int, default=256,
+                           help="cells per instance (default 256)")
+    sweep_cmd.add_argument("--steps", type=_positive_int, default=50)
+    sweep_cmd.add_argument("--dt", type=_positive_float, default=0.01)
+    sweep_cmd.add_argument("--runs", type=_positive_int, default=5,
+                           help="timing runs per variant")
+    sweep_cmd.add_argument("--width", type=int, default=8,
+                           choices=(2, 4, 8))
+    sweep_cmd.add_argument("--json", default=None, metavar="PATH",
+                           help="also write the report as JSON "
+                                "(BENCH_PR7)")
+    sweep_cmd.add_argument("--check", action="store_true",
+                           help="fail (exit 1) unless batched beats the "
+                                "loop by >= 1.5x with warm-cache reuse")
+    sweep_cmd.set_defaults(func=lambda args: cmd_sweep(
+        args.model, args.params, args.absolute, args.cells, args.steps,
+        args.dt, args.runs, args.width, args.json, args.check))
 
     cache_stats = sub.add_parser(
         "cache-stats", help="kernel-cache and LUT-cache statistics")
@@ -474,6 +509,49 @@ def cmd_perf(model: Optional[str], cells: Optional[int],
             return EXIT_FAILURE
         print("checks passed: fused >= unfused, cache hit sped up "
               "construction")
+    return EXIT_OK
+
+
+def cmd_sweep(model: str, param_specs: Optional[List[str]],
+              absolute: bool, cells: int, steps: int, dt: float,
+              runs: int, width: int, json_path: Optional[str],
+              check: bool) -> int:
+    from .bench.perf import check_sweep_report, sweep_report, write_report
+    from .bench.report import format_sweep_report
+
+    if not param_specs:
+        print("sweep: at least one --param NAME=lo:hi:N is required",
+              file=sys.stderr)
+        return EXIT_USAGE
+    params = {}
+    for spec in param_specs:
+        name, sep, rng = spec.partition("=")
+        if not sep or not name or not rng:
+            print(f"sweep: malformed --param {spec!r} "
+                  f"(expected NAME=lo:hi:N)", file=sys.stderr)
+            return EXIT_USAGE
+        params[name] = rng
+    from .easyml.errors import EasyMLError
+    try:
+        report = sweep_report(model_name=model, params=params,
+                              cells_per_instance=cells, n_steps=steps,
+                              dt=dt, runs=runs, width=width,
+                              absolute=absolute)
+    except (ValueError, EasyMLError) as exc:  # unknown param, bad range
+        print(f"sweep: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(format_sweep_report(report))
+    if json_path:
+        write_report(report, json_path)
+        print(f"report written to {json_path}")
+    if check:
+        failures = check_sweep_report(report)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        if failures:
+            return EXIT_FAILURE
+        print("checks passed: batched >= 1.5x loop, compile reused "
+              "across same-shape sweeps")
     return EXIT_OK
 
 

@@ -5,7 +5,8 @@ from .layout import Layout, LayoutKind, aos, aosoa, soa, pack_state, unpack_stat
 from .limpet_c import generate_baseline
 from .limpet_mlir import generate_icc_simd, generate_limpet_mlir
 from .multimodel import generate_plugin
-from .legality import (Finding, LegalityReport, check_simd_legality)
+from .legality import (Finding, LegalityReport, check_population_legality,
+                       check_simd_legality)
 from .gpu import generate_gpu
 from .common import UnsupportedModelError
 
@@ -13,5 +14,6 @@ __all__ = ["BackendMode", "ExprEmitter", "GeneratedKernel", "KernelSpec",
            "Layout", "LayoutKind", "aos", "aosoa", "soa", "pack_state",
            "unpack_state", "generate_baseline", "generate_icc_simd",
            "generate_limpet_mlir", "generate_plugin", "Finding",
-           "LegalityReport", "check_simd_legality", "UnsupportedModelError",
+           "LegalityReport", "check_simd_legality",
+           "check_population_legality", "UnsupportedModelError",
            "generate_gpu"]

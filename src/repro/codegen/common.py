@@ -66,6 +66,7 @@ class KernelSpec:
         """Kernel argument order shared by codegen and the runtime."""
         names = ["start", "end", "dt", "t", "sv"]
         names += [f"{ext}_ext" for ext in self.model.externals]
+        names += [f"param_{p}" for p in self.model.promoted_params]
         if self.use_lut:
             names += [f"lut_{table.var}" for table in self.model.lut_tables]
         return names

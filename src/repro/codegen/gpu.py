@@ -52,6 +52,11 @@ def generate_gpu(model: IonicModel, use_lut: bool = True,
             f"model {model.name}: foreign function(s) "
             f"{sorted(model.foreign_functions)} have no device "
             f"implementation; GPU execution is unsupported")
+    if model.promoted_params:
+        raise UnsupportedModelError(
+            f"model {model.name}: promoted parameter(s) "
+            f"{sorted(model.promoted_params)} are not supported by the "
+            f"GPU backend; use the population layer's CPU kernels")
     layout = soa(model.n_states)
     spec = KernelSpec(model=model, mode=BackendMode.LIMPET_MLIR, width=1,
                       layout=layout, use_lut=use_lut,

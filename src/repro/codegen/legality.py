@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-from ..easyml.ast_nodes import Call, Ternary, walk_expr
+from ..easyml.ast_nodes import Call, Name, Ternary, walk_expr
 from ..frontend.model import IonicModel
 from ..ir.dialects.math import EASYML_FUNCTIONS
 
@@ -75,6 +75,64 @@ def check_simd_legality(model: IonicModel) -> LegalityReport:
     _check_expressible(model, report)
     _check_regular_access(model, report)
     _check_control_flow(model, report)
+    return report
+
+
+def check_population_legality(model: IonicModel,
+                              param_names) -> LegalityReport:
+    """Is promoting ``param_names`` to per-instance arrays legal?
+
+    Promotion is never a hard error for a *valid* request: foreign
+    models fall back to the batched scalar kernel (a warning, not a
+    blocker), and params that also feed ``_init`` expressions keep
+    their default there (the starting state is shared across the
+    population).  The only blocker is naming something that is not a
+    declared ``.param()``.
+    """
+    report = LegalityReport(model=model.name)
+    param_names = list(dict.fromkeys(param_names))
+    for name in param_names:
+        if name not in model.params:
+            report.findings.append(Finding(
+                criterion="expressible", severity="blocker",
+                message=f"{name!r} is not a declared .param() of "
+                        f"{model.name} (params: "
+                        f"{', '.join(sorted(model.params)) or '(none)'})"))
+    if model.foreign_functions:
+        report.findings.append(Finding(
+            criterion="expressible", severity="warning",
+            message=f"foreign function(s) "
+                    f"{sorted(model.foreign_functions)}: the population "
+                    f"advances through the batched scalar baseline "
+                    f"kernel instead of the vectorized one"))
+    promoted = model.promoted_params or tuple(
+        p for p in param_names if p in model.params)
+    for name in promoted:
+        if name in model.init_param_uses:
+            report.findings.append(Finding(
+                criterion="regular-access", severity="warning",
+                message=f"param {name!r} also appears in _init "
+                        f"expressions; initial values stay at the "
+                        f"default, per-instance values only shape the "
+                        f"dynamics"))
+    if model.promoted_params:
+        used: set = set()
+        for expr in _all_exprs(model):
+            for node in walk_expr(expr):
+                if isinstance(node, Name):
+                    used.add(node.identifier)
+        for table in model.lut_tables:
+            for column in table.columns:
+                used.update(n.identifier
+                            for n in walk_expr(column.expr)
+                            if isinstance(n, Name))
+        for name in model.promoted_params:
+            if name not in used and name not in model.init_param_uses:
+                report.findings.append(Finding(
+                    criterion="regular-access", severity="warning",
+                    message=f"param {name!r} is promoted but unused by "
+                            f"any runtime computation; sweeping it "
+                            f"cannot change the trajectories"))
     return report
 
 

@@ -57,6 +57,7 @@ def _emit_traced(spec: KernelSpec) -> GeneratedKernel:
 
     arg_types = [index, index, f64, f64, STATE_MEMREF]
     arg_types += [EXT_MEMREF] * len(model.externals)
+    arg_types += [EXT_MEMREF] * len(model.promoted_params)
     if spec.use_lut:
         arg_types += [LUT_MEMREF] * len(model.lut_tables)
     arg_names = spec.argument_names()
@@ -81,6 +82,10 @@ def _emit_traced(spec: KernelSpec) -> GeneratedKernel:
         # Initialize the ext vars to current values (Listing 2, line 5).
         for ext in model.externals:
             env[ext] = memref.load(b, args[f"{ext}_ext"], [i])
+        # Promoted parameters read from per-cell linear arrays (the
+        # population layer broadcasts instance values over cells).
+        for pname in model.promoted_params:
+            env[pname] = memref.load(b, args[f"param_{pname}"], [i])
         # Retrieve the per-cell state struct: sv = sv_base + __i (AoS).
         base = arith.muli(b, i, n_states)
         for slot, state in enumerate(model.states):
@@ -102,6 +107,8 @@ def _emit_traced(spec: KernelSpec) -> GeneratedKernel:
         # as constants — DCE erases the unused ones.
         for const_name, const_value in {**model.params,
                                         **model.folded_constants}.items():
+            if const_name in model.promoted_params:
+                continue  # bound above from the per-instance array
             env[const_name] = emitter._const(const_value)
         for comp in model.computations:
             if comp.target in lut_served:

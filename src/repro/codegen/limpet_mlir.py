@@ -115,6 +115,7 @@ def _emit_vectorized_traced(spec: KernelSpec) -> GeneratedKernel:
 
     arg_types = [index, index, f64, f64, STATE_MEMREF]
     arg_types += [EXT_MEMREF] * len(model.externals)
+    arg_types += [EXT_MEMREF] * len(model.promoted_params)
     if spec.use_lut:
         arg_types += [LUT_MEMREF] * len(model.lut_tables)
     arg_names = spec.argument_names()
@@ -145,6 +146,12 @@ def _emit_vectorized_traced(spec: KernelSpec) -> GeneratedKernel:
             for ext in model.externals:
                 env[ext] = vector_dialect.load(b, args[f"{ext}_ext"], [i],
                                                width)
+            # Promoted parameters are per-cell linear arrays too
+            # (population batching broadcasts each instance's value over
+            # its cells), so the same contiguous load applies.
+            for pname in model.promoted_params:
+                env[pname] = vector_dialect.load(
+                    b, args[f"param_{pname}"], [i], width)
             _load_states(b, spec, args["sv"], i, n_states, end, env)
             lut_served = set()
             if spec.use_lut:
@@ -164,6 +171,8 @@ def _emit_vectorized_traced(spec: KernelSpec) -> GeneratedKernel:
             # unused ones are erased by DCE, used ones hoisted by LICM.
             for const_name, const_value in {**model.params,
                                             **model.folded_constants}.items():
+                if const_name in model.promoted_params:
+                    continue  # bound above from the per-instance array
                 env[const_name] = emitter._const(const_value)
             for comp in model.computations:
                 if comp.target in lut_served:

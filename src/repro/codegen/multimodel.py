@@ -55,6 +55,12 @@ def generate_plugin(model: IonicModel, width: int = 8,
             f"model {model.name}: foreign function(s) "
             f"{sorted(model.foreign_functions)} cannot be vectorized in a "
             f"plugin kernel; use the baseline backend")
+    if model.promoted_params:
+        from .common import UnsupportedModelError
+        raise UnsupportedModelError(
+            f"model {model.name}: promoted parameter(s) "
+            f"{sorted(model.promoted_params)} are not supported by "
+            f"plugin kernels")
     layout = aosoa(model.n_states, width)
     spec = KernelSpec(model=model, mode=BackendMode.LIMPET_MLIR, width=width,
                       layout=layout, use_lut=use_lut,

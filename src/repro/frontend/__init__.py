@@ -9,7 +9,7 @@ __all__ = ["analyze", "Computation", "GateInfo", "IonicModel", "LUTTable",
            "Preprocessor", "LookupSpec", "Method", "Variable", "VarKind"]
 
 
-def load_model(source: str, name: str = "model"):
+def load_model(source: str, name: str = "model", promote_params=()):
     """Parse + analyze EasyML source in one call."""
     from ..easyml import parse_model
     from ..obs import trace as _trace
@@ -17,10 +17,10 @@ def load_model(source: str, name: str = "model"):
     with _trace.span("parse", model=name):
         ast = parse_model(source, name)
     with _trace.span("frontend", model=name):
-        return analyze(ast)
+        return analyze(ast, promote_params=promote_params)
 
 
-def load_model_file(path):
+def load_model_file(path, promote_params=()):
     """Parse + analyze an EasyML ``.model`` file."""
     from ..easyml import parse_model_file
     from ..obs import trace as _trace
@@ -28,4 +28,4 @@ def load_model_file(path):
     with _trace.span("parse", file=str(path)):
         ast = parse_model_file(path)
     with _trace.span("frontend", model=ast.name):
-        return analyze(ast)
+        return analyze(ast, promote_params=promote_params)

@@ -38,14 +38,26 @@ def _is_costly(expr: Expr) -> bool:
     return any(_is_costly(child) for child in expr.children())
 
 
-def analyze(ast: ModelAST) -> IonicModel:
-    """Run the full frontend on a parsed model."""
-    return _Analyzer(ast).run()
+def analyze(ast: ModelAST,
+            promote_params: Sequence[str] = ()) -> IonicModel:
+    """Run the full frontend on a parsed model.
+
+    ``promote_params`` names ``.param()`` variables that must *survive*
+    constant folding: they stay out of the preprocessor's constant set,
+    so every expression that reads them (directly or through a folded
+    intermediate) remains a runtime computation and the code generators
+    see them as free names bound to per-instance parameter arrays.
+    This is the frontend half of population batching — the same model
+    source compiles to one kernel advancing N parameter-perturbed
+    instances.
+    """
+    return _Analyzer(ast, promote_params=promote_params).run()
 
 
 class _Analyzer:
-    def __init__(self, ast: ModelAST):
+    def __init__(self, ast: ModelAST, promote_params: Sequence[str] = ()):
         self.ast = ast
+        self.promote_params = tuple(dict.fromkeys(promote_params))
         self.warnings: List[str] = []
         self.variables: Dict[str, Variable] = {}
         self.foreign: Set[str] = set()
@@ -61,15 +73,33 @@ class _Analyzer:
         assigns = self._if_convert(self.ast.statements)
         self._check_single_assignment(assigns)
         params = self._resolve_params()
+        unknown = [p for p in self.promote_params if p not in params]
+        if unknown:
+            raise self._error(
+                f"cannot promote unknown parameter(s): "
+                f"{', '.join(unknown)} (declared params: "
+                f"{', '.join(sorted(params)) or '(none)'})")
+        # Initial values are always evaluated at the *default* param
+        # values — per-instance parameters shape the dynamics, not the
+        # starting state.  Record which promoted params feed inits so
+        # legality can surface the approximation.
+        init_param_uses = {
+            p for a in assigns if init_target(a.target) is not None
+            for p in free_names(a.expr) & set(self.promote_params)}
         init_values, external_init, body = self._split_inits(assigns, params)
         ordered = self._topo_sort(body)
-        pre = Preprocessor(params, foreign=self.foreign)
+        # Promoted params are withheld from the folding constant set;
+        # they (and everything derived from them) stay runtime names.
+        runtime_constants = {k: v for k, v in params.items()
+                             if k not in self.promote_params}
+        pre = Preprocessor(runtime_constants, foreign=self.foreign)
         computations, folded, diffs, outputs = self._fold(ordered, pre)
         states = self._resolve_states(diffs, init_values)
         gates = self._detect_gates(states, computations, folded)
         methods = self._resolve_methods(states, gates)
         self._validate_gate_methods(states, gates, methods)
-        lut_tables = self._group_luts(computations, params, folded)
+        lut_tables = self._group_luts(computations, runtime_constants,
+                                      folded)
         self._add_rl_decay_columns(lut_tables, gates, methods)
         for name in self.foreign:
             self.variables.pop(name, None)
@@ -98,6 +128,8 @@ class _Analyzer:
             methods=methods,
             gates=gates,
             lut_tables=lut_tables,
+            promoted_params=self.promote_params,
+            init_param_uses=init_param_uses,
             foreign_functions=set(self.foreign),
             warnings=self.warnings,
         )

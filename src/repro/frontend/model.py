@@ -96,6 +96,14 @@ class IonicModel:
     gates: Dict[str, GateInfo]
     #: lookup tables, one per ``.lookup`` variable that owns columns
     lut_tables: List[LUTTable] = field(default_factory=list)
+    #: parameters promoted to per-instance runtime arrays (population
+    #: batching): these keep their default in ``params`` but are no
+    #: longer folded — kernels take one extra array argument per name
+    promoted_params: tuple = ()
+    #: promoted parameters that also appear in ``_init`` expressions;
+    #: initial values stay baked at the default, so per-instance values
+    #: do not move the starting state (legality surfaces a warning)
+    init_param_uses: Set[str] = field(default_factory=set)
     #: names declared ``.foreign()``: external C functions the model
     #: calls; the baseline passes them through, limpetMLIR rejects them
     #: (this is what bounds support to 43 of 47 models, §3.3.2)

@@ -32,6 +32,10 @@ bare gauges).  The canonical set, wired in this PR:
 ``kernel_cache_corrupt_total``  corrupt cache entries quarantined
 ``tuning_db_corrupt_total``     corrupt tuning records/files quarantined
 ``cache_memory_fallbacks_total`` persistent tiers degraded to in-memory
+``population_instances``        gauge: instances per kernel call of the
+                                latest population run
+``sweep_compile_reuse_total``   sweeps served by an already-compiled
+                                population kernel (same shape)
 ==============================  =======================================
 
 All mutation is lock-per-metric; creation is lock-on-registry.  The

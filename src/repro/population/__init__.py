@@ -1,0 +1,17 @@
+"""Population-batched execution: one kernel, N parameter-perturbed
+instances (ROADMAP item 3(b) — the batch-axis throughput lever).
+
+* :class:`PopulationSpec` — which params vary, per-instance values;
+* :class:`PopulationRunner` — compile once (params promoted to
+  per-instance arrays), advance all instances per kernel call;
+* :func:`sweep` — the drug-block one-liner over ``"lo:hi:N"`` ranges.
+"""
+
+from .runner import (PopulationRunner, PopulationRunResult,
+                     instance_shard_plan, load_promoted_model)
+from .spec import PopulationSpec, parse_range
+from .sweep import sweep
+
+__all__ = ["PopulationSpec", "PopulationRunner", "PopulationRunResult",
+           "instance_shard_plan", "load_promoted_model", "parse_range",
+           "sweep"]

@@ -69,6 +69,11 @@ class RunResult:
     #: wall time inside the compute-stage kernel calls, only measured
     #: when ``run(..., time_breakdown=True)`` — ``None`` otherwise
     compute_seconds: Optional[float] = None
+    #: population batch instances this run advanced per kernel call.
+    #: 1 for ordinary runs; the population layer sets it on carved
+    #: per-instance results so throughput stays comparable — the kernel
+    #: really advanced ``instances × n_cells`` cells per step.
+    instances: int = 1
 
     @property
     def seconds_per_step(self) -> float:
@@ -91,8 +96,9 @@ class RunResult:
     @property
     def cell_steps_per_second(self) -> float:
         """Cell·steps per second — the paper's throughput unit, which
-        stays comparable across cell counts."""
-        return self.steps_per_second * self.state.n_cells
+        stays comparable across cell counts (and, with a population
+        axis, across batch sizes: the batch multiplier is included)."""
+        return self.steps_per_second * self.state.n_cells * self.instances
 
 
 #: LUT tables are dt-dependent; adaptive-dt retries must neither rebuild
@@ -144,7 +150,9 @@ class KernelRunner:
                  fuse: bool = True, arena: bool = False,
                  cache=None, tune: bool = False, tune_cells: int = 512,
                  tune_dt: float = 0.01, tune_db=None,
-                 profile: bool = False):
+                 profile: bool = False,
+                 population: Optional[str] = None):
+        self.population = population
         self.tuned_config = None
         if tune:
             generated, fuse, arena = self._tuned_variant(
@@ -213,7 +221,8 @@ class KernelRunner:
             with _trace.span("cache_lookup",
                              model=self.model.name) as look:
                 self.cache_key = kernel_cache_key(
-                    generated, fingerprint, self.fuse, self.arena, verify)
+                    generated, fingerprint, self.fuse, self.arena, verify,
+                    population=self.population)
                 payload = self.cache.load(self.cache_key)
                 look.annotate(hit=payload is not None)
             if payload is not None:
@@ -281,11 +290,12 @@ class KernelRunner:
 
     def make_state(self, n_cells: int, vm_init: Optional[float] = None,
                    perturbation: float = 0.0,
-                   rng: Optional[np.random.Generator] = None
-                   ) -> SimulationState:
+                   rng: Optional[np.random.Generator] = None,
+                   param_values=None) -> SimulationState:
         return allocate_state(self.model, self.layout, n_cells,
                               width=self.spec.width, vm_init=vm_init,
-                              perturbation=perturbation, rng=rng)
+                              perturbation=perturbation, rng=rng,
+                              param_values=param_values)
 
     # -- stepping ------------------------------------------------------------------
 
@@ -304,6 +314,7 @@ class KernelRunner:
             return bound[3]
         args = [0, state.n_alloc, dt, state.time, state.sv]
         args += [state.externals[ext] for ext in self.model.externals]
+        args += [state.params[p] for p in self.model.promoted_params]
         if self.spec.use_lut:
             args += self.luts_for(dt)
         self._bound = (state, dt, id(state.sv), args)

@@ -78,17 +78,23 @@ class CacheStats:
 
 
 def kernel_cache_key(generated, pipeline_fingerprint: str,
-                     fuse: bool, arena: bool, verify: bool) -> str:
+                     fuse: bool, arena: bool, verify: bool,
+                     population: str = "") -> str:
     """Content address for one (module, spec, pipeline, lowering) point.
 
     ``generated`` is a :class:`~repro.codegen.common.GeneratedKernel`
     whose module has NOT been run through the pipeline yet — the
     pipeline's effect is captured by its fingerprint instead, so the
     key can be computed before any optimization work happens.
+
+    ``population`` is the population-shape fingerprint (promoted
+    parameter names + instance count, never the swept values): sweeps
+    of the same shape share one compiled kernel.  The line is only
+    added when set, so pre-population keys are unchanged.
     """
     from .lowering import LOWERING_VERSION
     spec = generated.spec
-    material = "\n".join([
+    lines = [
         f"format={CACHE_FORMAT_VERSION}",
         f"model={spec.model.name}",
         f"mode={spec.mode.value}",
@@ -100,9 +106,11 @@ def kernel_cache_key(generated, pipeline_fingerprint: str,
         f"pipeline={pipeline_fingerprint}",
         f"lowering=v{LOWERING_VERSION};fuse={fuse};arena={arena}",
         f"verify={verify}",
-        "module:",
-        print_module(generated.module),
-    ])
+    ]
+    if population:
+        lines.append(f"population={population}")
+    lines += ["module:", print_module(generated.module)]
+    material = "\n".join(lines)
     return hashlib.sha256(material.encode()).hexdigest()
 
 

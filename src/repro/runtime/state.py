@@ -43,6 +43,14 @@ class SimulationState:
     externals: Dict[str, np.ndarray]
     time: float = 0.0
     steps_done: int = 0
+    #: per-cell arrays for the model's promoted parameters (population
+    #: batching).  Read-only at runtime: never checkpointed, restored
+    #: or moved to shared memory — forked workers inherit them.
+    params: Dict[str, np.ndarray] = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.params is None:
+            self.params = {}
 
     # -- views -------------------------------------------------------------------
 
@@ -100,7 +108,9 @@ class SimulationState:
 def allocate_state(model: IonicModel, layout: Layout, n_cells: int,
                    width: int = 1, vm_init: Optional[float] = None,
                    rng: Optional[np.random.Generator] = None,
-                   perturbation: float = 0.0) -> SimulationState:
+                   perturbation: float = 0.0,
+                   param_values: Optional[Dict[str, object]] = None
+                   ) -> SimulationState:
     """Allocate and initialize state per the model's ``_init`` values.
 
     ``width`` is the kernel's SIMD width: the allocation is padded so
@@ -109,6 +119,11 @@ def allocate_state(model: IonicModel, layout: Layout, n_cells: int,
     per-cell jitter (drawn per real cell, independent of padding or
     layout, so runs under different backends start identically) —
     useful for exercising LUT interpolation across rows.
+
+    ``param_values`` supplies per-cell values for the model's promoted
+    parameters: scalar (broadcast) or a length-``n_cells`` array
+    (padding lanes replicate the last real cell).  Promoted params not
+    named default to the model's declared value.
     """
     padded = -(-n_cells // max(width, 1)) * max(width, 1)
     n_alloc = layout.padded_cells(padded)
@@ -137,5 +152,28 @@ def allocate_state(model: IonicModel, layout: Layout, n_cells: int,
                                 * perturbation * 10.0)
             array[n_cells:] = array[n_cells - 1]
         externals[name] = array
+    params: Dict[str, np.ndarray] = {}
+    param_values = param_values or {}
+    unknown = set(param_values) - set(model.promoted_params)
+    if unknown:
+        raise ValueError(
+            f"param_values for non-promoted parameter(s): "
+            f"{sorted(unknown)} (promoted: "
+            f"{list(model.promoted_params) or '(none)'})")
+    for pname in model.promoted_params:
+        given = param_values.get(pname, model.params[pname])
+        array = np.empty(n_alloc, dtype=np.float64)
+        values_p = np.asarray(given, dtype=np.float64)
+        if values_p.ndim == 0:
+            array[:] = values_p
+        else:
+            if values_p.shape != (n_cells,):
+                raise ValueError(
+                    f"param {pname!r}: expected a scalar or shape "
+                    f"({n_cells},), got {values_p.shape}")
+            array[:n_cells] = values_p
+            array[n_cells:] = values_p[-1] if n_cells else 0.0
+        params[pname] = array
     return SimulationState(model=model, layout=layout, n_cells=n_cells,
-                           n_alloc=n_alloc, sv=sv, externals=externals)
+                           n_alloc=n_alloc, sv=sv, externals=externals,
+                           params=params)

@@ -149,6 +149,9 @@ def _worker_entry(runner: "SupervisedRunner", state: SimulationState,
                      name=f"limpet-heartbeat-{slot}").start()
     fn = runner.kernel.fn
     externals = [state.externals[e] for e in runner.model.externals]
+    # promoted parameter arrays are read-only: fork-inherited copies
+    # are exact and never need to live in the shared segment
+    param_arrays = [state.params[p] for p in runner.model.promoted_params]
     use_lut = runner.spec.use_lut
     tasks_done = 0
     try:
@@ -165,7 +168,8 @@ def _worker_entry(runner: "SupervisedRunner", state: SimulationState,
                     stalled.set()       # heartbeat goes quiet...
                     time.sleep(fault.stall_seconds)   # ...and so do we
             try:
-                args = [start, end, dt, now, state.sv] + externals
+                args = [start, end, dt, now, state.sv] + externals \
+                    + param_arrays
                 if use_lut:
                     # deterministic per-quantized-dt rebuild: bitwise
                     # identical to the parent's tables

@@ -78,7 +78,7 @@ def tuning_db_key(workload: Workload,
             verify_each=False).fingerprint()
     if source_hash is None:
         source_hash = model_source_hash(workload.model)
-    material = "\n".join([
+    lines = [
         f"format={TUNE_DB_VERSION}",
         f"model={workload.model}",
         f"source={source_hash}",
@@ -88,7 +88,12 @@ def tuning_db_key(workload: Workload,
         f"machine={workload.machine}",
         f"pipeline={pipeline_fingerprint}",
         f"lowering=v{LOWERING_VERSION}",
-    ])
+    ]
+    # population-shape line only when present: pre-population keys (and
+    # every existing DB record) are unchanged
+    if getattr(workload, "population", ""):
+        lines.append(f"population={workload.population}")
+    material = "\n".join(lines)
     return hashlib.sha256(material.encode()).hexdigest()
 
 

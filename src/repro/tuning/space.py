@@ -42,6 +42,10 @@ class TuningConfig:
     fuse: bool = True
     arena: bool = False
     shards: int = 1
+    #: which axis multi-shard runs split: "cells" (always legal) or
+    #: "instances" (population runs; bounds align to instance
+    #: boundaries when the geometry allows, else cell fallback)
+    shard_axis: str = "cells"
 
     def __post_init__(self):
         if self.width not in WIDTHS:
@@ -55,6 +59,9 @@ class TuningConfig:
                              f"got {self.lut!r}")
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.shard_axis not in ("cells", "instances"):
+            raise ValueError(f"shard_axis must be 'cells' or "
+                             f"'instances', got {self.shard_axis!r}")
 
     @property
     def use_lut(self) -> bool:
@@ -67,10 +74,13 @@ class TuningConfig:
         return self.lut if self.use_lut else "linear"
 
     def describe(self) -> str:
-        return (f"w{self.width}/{self.layout}/lut={self.lut}/"
+        text = (f"w{self.width}/{self.layout}/lut={self.lut}/"
                 f"{'fuse' if self.fuse else 'nofuse'}/"
                 f"{'arena' if self.arena else 'noarena'}/"
                 f"shards={self.shards}")
+        if self.shard_axis != "cells":
+            text += f"@{self.shard_axis}"
+        return text
 
     def as_dict(self) -> Dict:
         return asdict(self)
@@ -79,7 +89,8 @@ class TuningConfig:
     def from_dict(cls, data: Dict) -> "TuningConfig":
         return cls(width=int(data["width"]), layout=str(data["layout"]),
                    lut=str(data["lut"]), fuse=bool(data["fuse"]),
-                   arena=bool(data["arena"]), shards=int(data["shards"]))
+                   arena=bool(data["arena"]), shards=int(data["shards"]),
+                   shard_axis=str(data.get("shard_axis", "cells")))
 
 
 @dataclass(frozen=True)
@@ -92,16 +103,24 @@ class Workload:
     integrator: str = ""           # the model's integration methods
     machine: str = "python-numpy"  # executing runtime, not the paper's
     #                              # modeled Cascade Lake
+    #: population-shape fingerprint ("params=GKr;n=16") — empty for
+    #: ordinary single-instance workloads, so old DB records stay valid
+    population: str = ""
 
     @classmethod
     def from_model(cls, model: IonicModel, n_cells: int, dt: float,
-                   machine: str = "python-numpy") -> "Workload":
+                   machine: str = "python-numpy",
+                   population: str = "") -> "Workload":
         return cls(model=model.name, n_cells=n_cells, dt=dt,
-                   integrator=integrator_summary(model), machine=machine)
+                   integrator=integrator_summary(model), machine=machine,
+                   population=population)
 
     def describe(self) -> str:
-        return (f"{self.model}[{self.integrator}] x {self.n_cells} cells, "
+        text = (f"{self.model}[{self.integrator}] x {self.n_cells} cells, "
                 f"dt={self.dt:g}, machine={self.machine}")
+        if self.population:
+            text += f", population[{self.population}]"
+        return text
 
 
 def integrator_summary(model: IonicModel) -> str:
@@ -134,13 +153,18 @@ def _lut_choices(model: IonicModel) -> Iterable[str]:
 
 
 def enumerate_space(model: IonicModel,
-                    shard_counts: Optional[Iterable[int]] = None
+                    shard_counts: Optional[Iterable[int]] = None,
+                    population_instances: int = 0
                     ) -> List[TuningConfig]:
     """Every legal :class:`TuningConfig` for ``model``.
 
     ``shard_counts`` defaults to {1} plus one multi-thread point when
     the host has more than one CPU (there is no reason to enumerate a
     thread sweep the machine cannot run).
+
+    ``population_instances`` > 1 adds instance-axis variants of every
+    multi-shard point (shard over instances vs cells — the population
+    layer's extra degree of freedom).
     """
     if shard_counts is None:
         cpus = os.cpu_count() or 1
@@ -171,4 +195,10 @@ def enumerate_space(model: IonicModel,
                             configs.append(TuningConfig(
                                 width=width, layout=layout, lut=lut,
                                 fuse=fuse, arena=arena, shards=shards))
+                            if shards > 1 and population_instances > 1:
+                                configs.append(TuningConfig(
+                                    width=width, layout=layout, lut=lut,
+                                    fuse=fuse, arena=arena,
+                                    shards=shards,
+                                    shard_axis="instances"))
     return configs

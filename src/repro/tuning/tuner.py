@@ -291,13 +291,15 @@ def tuned_runner(model: Union[str, IonicModel], n_cells: int = 512,
 
 def lookup_config(model: IonicModel, n_cells: int, dt: float,
                   db: Optional[TuningDB] = None,
-                  machine: str = "python-numpy"
-                  ) -> Optional[TuningConfig]:
+                  machine: str = "python-numpy",
+                  population: str = "") -> Optional[TuningConfig]:
     """The stored tuned config for a workload, or None (no tuning run).
 
     This is the cheap DB-only path ``KernelRunner(tune=True)`` uses at
-    construction; it never measures.
+    construction; it never measures.  ``population`` is the population
+    shape fingerprint — one tune serves every sweep of that shape.
     """
-    workload = Workload.from_model(model, n_cells, dt, machine=machine)
+    workload = Workload.from_model(model, n_cells, dt, machine=machine,
+                                   population=population)
     db = db if db is not None else TuningDB()
     return db.get_config(tuning_db_key(workload))

@@ -202,3 +202,35 @@ class TestTuneCommand:
                             "--runs", "2", "--width", "4")
         assert code == 0
         assert "BENCH_PR2" in out
+
+
+class TestSweep:
+    def test_sweep_prints_bench_table(self, capsys, tmp_path):
+        import json
+        out_path = tmp_path / "sweep.json"
+        code, out = run_cli(capsys, "sweep", "LuoRudy91",
+                            "--param", "GK=0.5:1.0:3",
+                            "--cells", "8", "--steps", "5",
+                            "--runs", "2", "--width", "4",
+                            "--json", str(out_path))
+        assert code == 0
+        assert "BENCH_PR7" in out
+        assert "batched vs loop-of-3" in out
+        data = json.loads(out_path.read_text())
+        assert data["benchmark"] == "BENCH_PR7"
+        assert data["config"]["instances"] == 3
+        names = {v["name"] for v in data["variants"]}
+        assert names == {"loop", "batched"}
+
+    def test_sweep_requires_param(self, capsys):
+        code = main(["sweep", "LuoRudy91"])
+        assert code == 2
+
+    def test_sweep_rejects_malformed_param(self, capsys):
+        assert main(["sweep", "LuoRudy91", "--param", "GK"]) == 2
+        assert main(["sweep", "LuoRudy91",
+                     "--param", "GK=zero:one"]) == 2
+
+    def test_sweep_rejects_unknown_param(self, capsys):
+        code = main(["sweep", "LuoRudy91", "--param", "nope=0.1:1.0:2"])
+        assert code == 2
