@@ -1,0 +1,284 @@
+"""``limpet-bench artifacts audit``: staleness + integrity for bundles.
+
+A bundle is immutable at runtime, but the *inputs* it was derived from
+keep moving: pass pipelines grow, ``LOWERING_VERSION`` bumps, models
+get edited, the tuning DB learns new winners.  The audit walks every
+manifest entry and reports exactly which dimension drifted:
+
+* ``missing``        — the manifest names an entry file that is gone;
+* ``corrupt``        — the entry fails its sha256 checksum; the file is
+  **quarantined** (moved to ``<root>/quarantine/``, same machinery as
+  the kernel cache's corrupt-entry handling) so it can never be served;
+* ``pipeline_drift`` — recorded pass-pipeline fingerprint differs from
+  the current default pipeline's;
+* ``lowering_drift`` — recorded ``LOWERING_VERSION`` differs;
+* ``source_drift``   — recorded model source hash differs from the
+  registry file's current bytes;
+* ``tuning_drift``   — a tuned entry whose recorded winner is no
+  longer the tuning DB's winner for its workload (or the record is
+  gone);
+* ``key_mismatch``   — deep re-derivation: regenerating the kernel IR
+  and recomputing the kernel-cache key no longer reproduces the
+  entry's key (catches code-generator changes the fast checks cannot).
+
+Every stale finding increments ``artifact_stale_total``; corrupt ones
+increment ``artifact_corrupt_total``.  The CLI exits non-zero when any
+finding survives, naming the drifted entries.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from ..ir.passes import default_pipeline
+from ..obs import metrics as _metrics
+from ..runtime.kernel_cache import payload_checksum
+from .bundle import (BUNDLE_FORMAT_VERSION, QUARANTINE_DIR,
+                     ArtifactStore)
+
+
+@dataclass
+class AuditFinding:
+    """One problem with one bundle entry."""
+
+    key: str
+    model: str
+    variant: str
+    kind: str          # missing|corrupt|pipeline_drift|lowering_drift|
+    #                  # source_drift|tuning_drift|key_mismatch
+    detail: str = ""
+
+    def describe(self) -> str:
+        return (f"{self.kind}: {self.model} [{self.variant}] "
+                f"{self.key[:12]}… {self.detail}".rstrip())
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one :func:`audit_bundle` call."""
+
+    root: str
+    checked: int = 0
+    findings: List[AuditFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def stale_keys(self) -> List[str]:
+        return sorted({f.key for f in self.findings})
+
+    def describe(self) -> str:
+        if self.ok:
+            return (f"bundle {self.root}: {self.checked} entries "
+                    f"audited, all current")
+        lines = [f"bundle {self.root}: {self.checked} entries audited, "
+                 f"{len(self.findings)} finding(s):"]
+        lines += [f"  {f.describe()}" for f in self.findings]
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict:
+        return {"root": self.root, "checked": self.checked,
+                "ok": self.ok,
+                "findings": [{"key": f.key, "model": f.model,
+                              "variant": f.variant, "kind": f.kind,
+                              "detail": f.detail}
+                             for f in self.findings]}
+
+
+def _count_stale() -> None:
+    _metrics.counter(
+        "artifact_stale_total",
+        "AOT artifact entries found stale (drifted inputs)").inc()
+
+
+def _quarantine_entry(root: pathlib.Path, path: pathlib.Path,
+                      reason: str) -> Optional[pathlib.Path]:
+    """Move a corrupt entry aside (the kernel cache's machinery)."""
+    target = None
+    try:
+        qdir = root / QUARANTINE_DIR
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / path.name
+        os.replace(path, target)
+    except OSError:
+        target = None
+    from ..resilience.diagnostics import (Diagnostic, Severity,
+                                          log_diagnostic)
+    log_diagnostic(Diagnostic(
+        stage="cache", component="artifacts",
+        message=f"quarantined corrupt artifact {path.name}: {reason}",
+        severity=Severity.WARNING,
+        data={"entry": path.name,
+              "quarantined_to": str(target) if target else None}))
+    _metrics.counter(
+        "artifact_corrupt_total",
+        "corrupt AOT artifact entries/manifests detected").inc()
+    return target
+
+
+def _rederive_key(entry: Dict, fingerprint: str) -> Optional[str]:
+    """Regenerate the entry's kernel IR and recompute its cache key."""
+    from ..codegen import generate_baseline, generate_limpet_mlir
+    from ..models import load_model
+    from ..runtime.kernel_cache import kernel_cache_key
+    spec = entry["spec"]
+    model = load_model(spec["model"])
+    tuning = entry.get("tuning")
+    if tuning is not None:
+        from ..tuning import generate_for
+        from ..tuning.space import TuningConfig
+        config = TuningConfig.from_dict(tuning)
+        generated = generate_for(model, config)
+        fuse, arena = config.fuse, config.arena
+    else:
+        fuse, arena = True, False
+        if spec["backend"] == "baseline":
+            generated = generate_baseline(
+                model, use_lut=spec["use_lut"],
+                lut_interpolation=spec["lut_interpolation"])
+        else:
+            generated = generate_limpet_mlir(
+                model, spec["width"], use_lut=spec["use_lut"],
+                lut_interpolation=spec["lut_interpolation"])
+    return kernel_cache_key(generated, fingerprint, fuse, arena, True)
+
+
+def audit_bundle(root: Union[str, pathlib.Path], db=None,
+                 deep: bool = True) -> AuditReport:
+    """Audit every manifest entry of the bundle at ``root``.
+
+    ``db`` is the tuning database to check tuned entries against
+    (default: the process tuning DB).  ``deep=True`` additionally
+    re-derives every clean entry's kernel-cache key from freshly
+    generated IR — the authoritative check, at the cost of one codegen
+    per entry; ``deep=False`` keeps only the recorded-provenance
+    comparisons (still sufficient for pipeline/lowering/source/tuning
+    drift).
+    """
+    from ..runtime.lowering import LOWERING_VERSION
+    from ..tuning.database import model_source_hash, tuning_db_key
+    from ..tuning.space import Workload
+
+    root = pathlib.Path(root)
+    store = ArtifactStore(root)
+    report = AuditReport(root=str(root))
+    manifest = store.manifest()
+    if manifest is None:
+        report.findings.append(AuditFinding(
+            key="", model="", variant="",
+            kind="missing", detail=f"no readable manifest in {root}"))
+        return report
+    current_fp = default_pipeline(verify_each=False).fingerprint()
+    if db is None:
+        from ..tuning.database import TuningDB
+        db = TuningDB()
+
+    for key, ment in sorted(manifest.get("entries", {}).items()):
+        report.checked += 1
+        model = ment.get("model", "?")
+        variant = ment.get("variant", "default")
+        path = store.entry_path(key)
+        if not path.exists():
+            report.findings.append(AuditFinding(
+                key=key, model=model, variant=variant, kind="missing",
+                detail=f"entry file {path.name} does not exist"))
+            _count_stale()
+            continue
+        try:
+            import json
+            entry = json.loads(path.read_text())
+            valid = isinstance(entry, dict) \
+                and entry.get("format") == BUNDLE_FORMAT_VERSION \
+                and entry.get("checksum") == payload_checksum(entry)
+        except (OSError, ValueError):
+            entry, valid = None, False
+        if not valid:
+            target = _quarantine_entry(root, path, "checksum mismatch")
+            report.findings.append(AuditFinding(
+                key=key, model=model, variant=variant, kind="corrupt",
+                detail=("quarantined to "
+                        f"{target}" if target else "quarantine failed")))
+            continue
+
+        flagged = False
+        prov = entry.get("provenance", {})
+        if prov.get("pipeline_fingerprint") != current_fp:
+            report.findings.append(AuditFinding(
+                key=key, model=model, variant=variant,
+                kind="pipeline_drift",
+                detail=(f"built with {prov.get('pipeline_fingerprint')!r},"
+                        f" current {current_fp!r}")))
+            _count_stale()
+            flagged = True
+        if prov.get("lowering_version") != LOWERING_VERSION:
+            report.findings.append(AuditFinding(
+                key=key, model=model, variant=variant,
+                kind="lowering_drift",
+                detail=(f"built at v{prov.get('lowering_version')}, "
+                        f"current v{LOWERING_VERSION}")))
+            _count_stale()
+            flagged = True
+        try:
+            current_hash = model_source_hash(model)
+        except Exception:
+            current_hash = None
+        if prov.get("model_source_hash") != current_hash:
+            report.findings.append(AuditFinding(
+                key=key, model=model, variant=variant,
+                kind="source_drift",
+                detail="model source bytes changed since build"))
+            _count_stale()
+            flagged = True
+        if entry.get("tuning") is not None:
+            drift = _tuning_drift(entry, db, tuning_db_key, Workload)
+            if drift:
+                report.findings.append(AuditFinding(
+                    key=key, model=model, variant=variant,
+                    kind="tuning_drift", detail=drift))
+                _count_stale()
+                flagged = True
+        if deep and not flagged:
+            try:
+                rederived = _rederive_key(entry, current_fp)
+            except Exception as err:  # noqa: BLE001 - audit boundary
+                rederived = None
+                detail = f"re-derivation failed: {type(err).__name__}"
+            else:
+                detail = (f"recorded {key[:12]}…, re-derived "
+                          f"{(rederived or '?')[:12]}…")
+            if rederived != key:
+                report.findings.append(AuditFinding(
+                    key=key, model=model, variant=variant,
+                    kind="key_mismatch", detail=detail))
+                _count_stale()
+    return report
+
+
+def _tuning_drift(entry: Dict, db, tuning_db_key, workload_cls
+                  ) -> Optional[str]:
+    """Why this tuned entry no longer matches the DB, or None."""
+    workload_d = entry.get("tuning_workload")
+    if not isinstance(workload_d, dict):
+        return "no recorded workload to re-check against"
+    try:
+        workload = workload_cls(
+            model=workload_d["model"],
+            n_cells=int(workload_d["n_cells"]),
+            dt=float(workload_d["dt"]),
+            integrator=workload_d.get("integrator", ""),
+            machine=workload_d.get("machine", "python-numpy"),
+            population=workload_d.get("population", ""))
+        current = db.get_config(tuning_db_key(workload))
+    except Exception as err:  # noqa: BLE001 - audit boundary
+        return f"workload re-check failed: {type(err).__name__}"
+    if current is None:
+        return "tuning DB no longer records a winner for this workload"
+    if current.as_dict() != entry["tuning"]:
+        return (f"DB winner is now {current.describe()}, entry was "
+                f"built for a different config")
+    return None

@@ -1,0 +1,386 @@
+"""``limpet-bench build-all``: AOT-compile the zoo into a bundle.
+
+One build pass walks every requested model (default: all 47 shipped
+model files), generates its default kernel — limpetMLIR where legal,
+the baseline generator for the 4 foreign-function models, recorded as
+ordinary baseline-tier entries rather than errors — plus one kernel
+per recorded tuning-DB winner, runs the full pipeline + verification +
+lowering once, and persists the result as a checksummed bundle entry
+keyed by the exact kernel-cache key a runtime JIT would compute.
+
+The build is **idempotent**: an entry whose key is already in the
+manifest and whose file passes its checksum is reused untouched, and
+the manifest is rewritten only when something actually changed — a
+second ``build-all`` over an up-to-date bundle is a byte-level no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..codegen import generate_baseline, generate_limpet_mlir
+from ..codegen.common import UnsupportedModelError
+from ..ir.passes import default_pipeline
+from ..models import all_model_files, load_model
+from ..obs import metrics as _metrics
+from ..runtime.kernel_cache import (CACHE_FORMAT_VERSION,
+                                    kernel_cache_key, payload_checksum)
+from ..runtime.locking import file_lock
+from .bundle import (BUNDLE_FORMAT_VERSION, MANIFEST_NAME, MODELS_DIR,
+                     layout_to_dict, spec_fingerprint,
+                     tuned_variant_name)
+
+
+@dataclass
+class BuiltEntry:
+    """One bundle entry's build outcome."""
+
+    key: str
+    model: str
+    backend: str
+    variant: str
+    action: str                    # "built" | "reused" | "failed"
+    seconds: float = 0.0
+    error: Optional[str] = None
+
+
+@dataclass
+class BuildReport:
+    """Outcome of one :func:`build_bundle` call."""
+
+    root: str
+    entries: List[BuiltEntry] = field(default_factory=list)
+    manifest_written: bool = False
+
+    @property
+    def built(self) -> int:
+        return sum(1 for e in self.entries if e.action == "built")
+
+    @property
+    def reused(self) -> int:
+        return sum(1 for e in self.entries if e.action == "reused")
+
+    @property
+    def failed(self) -> List[BuiltEntry]:
+        return [e for e in self.entries if e.action == "failed"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def describe(self) -> str:
+        head = (f"bundle {self.root}: {self.built} built, "
+                f"{self.reused} reused"
+                + (f", {len(self.failed)} FAILED" if self.failed else "")
+                + ("" if self.manifest_written
+                   else " (manifest unchanged)"))
+        lines = [head]
+        for entry in self.failed:
+            lines.append(f"  FAILED {entry.model} [{entry.variant}]: "
+                         f"{entry.error}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict:
+        return {"root": self.root, "built": self.built,
+                "reused": self.reused,
+                "failed": [e.model for e in self.failed],
+                "manifest_written": self.manifest_written,
+                "entries": [{"key": e.key, "model": e.model,
+                             "backend": e.backend, "variant": e.variant,
+                             "action": e.action, "seconds": e.seconds,
+                             "error": e.error}
+                            for e in self.entries]}
+
+
+def _tool_versions() -> Dict[str, str]:
+    import numpy
+    return {"python": platform.python_version(),
+            "numpy": numpy.__version__}
+
+
+def _fresh_manifest() -> Dict:
+    return {"format": BUNDLE_FORMAT_VERSION, "created_at": None,
+            "pipeline_fingerprint": None, "lowering_version": None,
+            "cache_format_version": CACHE_FORMAT_VERSION,
+            "tool_versions": {}, "entries": {}, "spec_index": {},
+            "models": {}}
+
+
+def _read_manifest(root: pathlib.Path) -> Dict:
+    try:
+        data = json.loads((root / MANIFEST_NAME).read_text())
+    except (OSError, ValueError):
+        return _fresh_manifest()
+    if not isinstance(data, dict) \
+            or data.get("format") != BUNDLE_FORMAT_VERSION:
+        return _fresh_manifest()
+    for field_name in ("entries", "spec_index", "models"):
+        if not isinstance(data.get(field_name), dict):
+            data[field_name] = {}
+    return data
+
+
+def _atomic_write(path: pathlib.Path, payload: Dict) -> None:
+    tmp = path.with_suffix(f".{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def _tuned_configs(db, model_name: str) -> List:
+    """Recorded tuning winners for ``model_name`` (deduplicated).
+
+    Multi-shard winners are skipped — they need a ShardedRunner whose
+    kernel is the single-shard one anyway (same IR, thread-split at
+    run time), so the default entry already covers them.
+    """
+    from ..tuning.space import TuningConfig
+    configs = []
+    seen = set()
+    for record in db.entries().values():
+        workload = record.get("workload")
+        if not isinstance(workload, dict) \
+                or workload.get("model") != model_name:
+            continue
+        try:
+            config = TuningConfig.from_dict(record["config"])
+        except (KeyError, TypeError, ValueError):
+            continue
+        if config.shards > 1:
+            continue
+        name = tuned_variant_name(config)
+        if name in seen:
+            continue
+        seen.add(name)
+        configs.append((config, workload))
+    return configs
+
+
+def build_bundle(dest: Union[str, pathlib.Path],
+                 models: Optional[Sequence[str]] = None,
+                 db=None, width: int = 8, use_lut: bool = True,
+                 include_tuned: bool = True,
+                 built_at: Optional[float] = None) -> BuildReport:
+    """AOT-compile ``models`` (default: all 47) into the bundle ``dest``.
+
+    ``db`` is the tuning database whose recorded winners get tuned
+    variants bundled alongside the defaults (default: the process
+    tuning DB); ``built_at`` is the provenance timestamp recorded on
+    newly built entries (default: now).  Idempotent — see the module
+    docstring.
+    """
+    from ..obs import trace as _trace
+    from ..runtime.executor import KernelRunner
+    from ..runtime.sharded import _module_has_omp
+    from ..tuning.database import model_source_hash
+
+    root = pathlib.Path(dest)
+    root.mkdir(parents=True, exist_ok=True)
+    if built_at is None:
+        built_at = time.time()
+    if db is None and include_tuned:
+        from ..tuning.database import TuningDB
+        db = TuningDB()
+    names = list(models) if models else all_model_files()
+    fingerprint = default_pipeline(verify_each=False).fingerprint()
+    from ..runtime.lowering import LOWERING_VERSION
+    tools = _tool_versions()
+    manifest = _read_manifest(root)
+    report = BuildReport(root=str(root))
+    changed = False
+    build_hist = _metrics.histogram(
+        "artifact_build_seconds",
+        "wall seconds to AOT-build one bundle entry")
+
+    for name in names:
+        try:
+            model = load_model(name)
+        except Exception as err:  # noqa: BLE001 - per-model boundary
+            report.entries.append(BuiltEntry(
+                key="", model=name, backend="", variant="default",
+                action="failed", error=f"{type(err).__name__}: {err}"))
+            continue
+        if _write_model_blob(root, manifest, name, model,
+                             model_source_hash(name)):
+            changed = True
+        variants = [("default", None, None)]
+        if include_tuned and db is not None:
+            for config, workload in _tuned_configs(db, name):
+                variants.append((tuned_variant_name(config), config,
+                                 workload))
+        for variant, config, workload in variants:
+            start = time.perf_counter()
+            try:
+                if config is not None:
+                    from ..tuning import generate_for
+                    generated = generate_for(model, config)
+                    fuse, arena = config.fuse, config.arena
+                else:
+                    fuse, arena = True, False
+                    try:
+                        generated = generate_limpet_mlir(
+                            model, width, use_lut=use_lut)
+                    except UnsupportedModelError:
+                        # the 4 foreign-function models: first-class
+                        # baseline-tier entries, not build errors
+                        generated = generate_baseline(
+                            model, use_lut=use_lut)
+                key = kernel_cache_key(generated, fingerprint, fuse,
+                                       arena, True)
+            except Exception as err:  # noqa: BLE001 - per-model boundary
+                report.entries.append(BuiltEntry(
+                    key="", model=name, backend="", variant=variant,
+                    action="failed",
+                    error=f"{type(err).__name__}: {err}"))
+                continue
+            backend = generated.spec.mode.value
+            existing = manifest["entries"].get(key)
+            if existing is not None and _entry_file_valid(root, key):
+                report.entries.append(BuiltEntry(
+                    key=key, model=name, backend=backend,
+                    variant=variant, action="reused"))
+                continue
+            try:
+                with _trace.span("artifact_build", model=name,
+                                 variant=variant):
+                    runner = KernelRunner(generated, fuse=fuse,
+                                          arena=arena, cache=None,
+                                          artifacts=False)
+                    omp = _module_has_omp(
+                        generated.module,
+                        generated.spec.function_name)
+                    entry = _make_entry(
+                        key, generated, runner.kernel, fuse, arena,
+                        variant, config, workload, omp, fingerprint,
+                        LOWERING_VERSION, model_source_hash(name),
+                        built_at, tools)
+                with file_lock(root / ".lock"):
+                    _atomic_write(root / f"{key}.json", entry)
+            except Exception as err:  # noqa: BLE001 - per-model boundary
+                report.entries.append(BuiltEntry(
+                    key=key, model=name, backend=backend,
+                    variant=variant, action="failed",
+                    error=f"{type(err).__name__}: {err}"))
+                continue
+            seconds = time.perf_counter() - start
+            build_hist.observe(seconds)
+            manifest["entries"][key] = {
+                "model": name, "backend": backend,
+                "width": generated.spec.width, "variant": variant,
+                "file": f"{key}.json", "checksum": entry["checksum"],
+                "source_hash": entry["provenance"]["model_source_hash"],
+                "spec_fingerprint": entry["spec_fingerprint"],
+            }
+            manifest["spec_index"][entry["spec_fingerprint"]] = key
+            changed = True
+            report.entries.append(BuiltEntry(
+                key=key, model=name, backend=backend, variant=variant,
+                action="built", seconds=seconds))
+
+    if changed or manifest.get("pipeline_fingerprint") != fingerprint \
+            or manifest.get("lowering_version") != LOWERING_VERSION:
+        manifest["created_at"] = built_at
+        manifest["pipeline_fingerprint"] = fingerprint
+        manifest["lowering_version"] = LOWERING_VERSION
+        manifest["tool_versions"] = tools
+        with file_lock(root / ".lock"):
+            _atomic_write(root / MANIFEST_NAME, manifest)
+        report.manifest_written = True
+    return report
+
+
+def _write_model_blob(root: pathlib.Path, manifest: Dict, name: str,
+                      model, source_hash: str) -> bool:
+    """Pickle the parsed model into the bundle; True when (re)written.
+
+    The blob is what lets :func:`~repro.aot.bundle.runner_from_store`
+    skip the EasyML parse on cold start.  Reused untouched when the
+    recorded source hash still matches and the file verifies, so a
+    second build stays a byte-level no-op.
+    """
+    import hashlib
+    import pickle
+    models = manifest.setdefault("models", {})
+    record = models.get(name)
+    path = root / MODELS_DIR / f"{name}.pkl"
+    if isinstance(record, dict) \
+            and record.get("source_hash") == source_hash:
+        try:
+            blob = path.read_bytes()
+            if hashlib.sha256(blob).hexdigest() == record.get("checksum"):
+                return False
+        except OSError:
+            pass
+    blob = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".{os.getpid()}.tmp")
+    with file_lock(root / ".lock"):
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+    models[name] = {"file": f"{MODELS_DIR}/{name}.pkl",
+                    "checksum": hashlib.sha256(blob).hexdigest(),
+                    "source_hash": source_hash}
+    return True
+
+
+def _entry_file_valid(root: pathlib.Path, key: str) -> bool:
+    try:
+        entry = json.loads((root / f"{key}.json").read_text())
+    except (OSError, ValueError):
+        return False
+    return isinstance(entry, dict) \
+        and entry.get("format") == BUNDLE_FORMAT_VERSION \
+        and entry.get("checksum") == payload_checksum(entry)
+
+
+def _make_entry(key: str, generated, kernel, fuse: bool, arena: bool,
+                variant: str, config, workload, omp: bool,
+                fingerprint: str, lowering_version: int,
+                source_hash: str, built_at: float,
+                tools: Dict) -> Dict:
+    spec = generated.spec
+    entry = {
+        "format": BUNDLE_FORMAT_VERSION,
+        "key": key,
+        "variant": variant,
+        "spec": {
+            "model": spec.model.name,
+            "backend": spec.mode.value,
+            "width": spec.width,
+            "layout": layout_to_dict(generated.layout),
+            "use_lut": spec.use_lut,
+            "lut_interpolation": spec.lut_interpolation,
+            "function_name": spec.function_name,
+        },
+        "kernel": {
+            "function_name": kernel.name,
+            "source": kernel.source,
+            "mode": kernel.mode,
+            "width": kernel.width,
+            "arg_names": list(kernel.arg_names),
+            "fused": kernel.fused,
+            "arena": kernel.arena is not None,
+        },
+        "tuning": config.as_dict() if config is not None else None,
+        "tuning_workload": dict(workload) if workload else None,
+        "omp_parallel": omp,
+        "spec_fingerprint": spec_fingerprint(
+            spec.model.name, spec.mode.value, spec.width, spec.use_lut,
+            spec.lut_interpolation, fuse, arena, True, "", variant,
+            pipeline_fingerprint=fingerprint),
+        "provenance": {
+            "model_source_hash": source_hash,
+            "pipeline_fingerprint": fingerprint,
+            "lowering_version": lowering_version,
+            "cache_format_version": CACHE_FORMAT_VERSION,
+            "built_at": built_at,
+            "tool_versions": tools,
+        },
+    }
+    entry["checksum"] = payload_checksum(entry)
+    return entry

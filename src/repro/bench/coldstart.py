@@ -1,0 +1,248 @@
+"""Cold-start benchmark: JIT vs AOT artifact bundle (BENCH_PR8).
+
+The whole point of ``limpet-bench build-all`` is the fleet cold start:
+a fresh process — empty kernel cache, nothing warm — should reach its
+first simulated step far faster reading the prebuilt bundle than
+running codegen + passes + verify + lowering.  This module measures
+exactly that, honestly: each measurement is a **separate child
+process** (``sys.executable``) with a scratch ``$LIMPET_CACHE_DIR``,
+so no in-process state can leak between the JIT and artifact runs.
+
+* the ``jit`` child compiles from scratch (``LIMPET_ARTIFACTS=off``);
+* the ``artifact`` child mounts the bundle via ``$LIMPET_ARTIFACT_DIR``
+  and takes :func:`repro.aot.runner_from_store`'s spec-index path —
+  no IR generation, no pipeline, no lowering.
+
+Each child reports its time-to-first-step, a span census from the
+tracer (proof the artifact path really skipped ``passes``/``verify``/
+``lowering``), and a sha256 over the final state matrix (proof the
+served kernel is bitwise-identical to the JIT one).
+
+``check_coldstart_report`` encodes the PR's acceptance bar: bitwise
+identity on every model, zero compile-stage spans in every artifact
+child, and >= ``min_speedup`` time-to-first-step on at least
+``min_models`` of the representative set.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence
+
+#: models whose pipeline cost dominates cold start (the large Markov
+#: models plus the canonical mid-size ones) — the set BENCH_PR8 reports
+REPRESENTATIVE = ("TomekORd", "IyerMazhariWinslow", "HeijmanRudy",
+                  "OHara", "Courtemanche")
+
+#: the measurement program run in each child process.  It reads its
+#: config from $LIMPET_COLDSTART_CONFIG (a JSON object) and writes its
+#: result JSON to the configured path — stdout stays free for stray
+#: diagnostics.
+_CHILD_SCRIPT = r"""
+import hashlib, json, os, time
+
+import numpy as np
+
+from repro.aot import runner_from_store
+from repro.codegen import generate_limpet_mlir
+from repro.models import load_model
+from repro.obs import trace as _trace
+from repro.runtime import KernelRunner
+
+cfg = json.loads(os.environ["LIMPET_COLDSTART_CONFIG"])
+tracer = _trace.Tracer()
+_trace.activate(tracer)
+
+t0 = time.perf_counter()
+runner = None
+if cfg["mode"] == "artifact":
+    runner = runner_from_store(cfg["model"], backend="limpet_mlir",
+                               width=cfg["width"])
+artifact_hit = runner is not None
+if runner is None:
+    runner = KernelRunner(generate_limpet_mlir(
+        load_model(cfg["model"]), width=cfg["width"]))
+construct = time.perf_counter() - t0
+
+state = runner.make_state(cfg["n_cells"])
+result = runner.run(state, cfg["n_steps"], cfg["dt"])
+
+first_step = None
+if result.time_to_first_step is not None and \
+        result.compile_seconds is not None:
+    first_step = result.time_to_first_step - result.compile_seconds
+ttfs = construct + (first_step or 0.0)
+
+spans = {}
+for event in tracer.to_chrome()["traceEvents"]:
+    spans[event["name"]] = spans.get(event["name"], 0) + 1
+digest = hashlib.sha256(
+    np.ascontiguousarray(state.state_matrix()).tobytes()).hexdigest()
+
+with open(cfg["result_path"], "w") as fh:
+    json.dump({"model": cfg["model"], "mode": cfg["mode"],
+               "construct_seconds": construct,
+               "first_step_seconds": first_step,
+               "time_to_first_step": ttfs,
+               "compile_seconds": result.compile_seconds,
+               "artifact_hit": artifact_hit,
+               "spans": spans, "state_sha256": digest}, fh)
+"""
+
+#: compile-stage span names that must NOT appear in an artifact child
+COMPILE_SPANS = ("passes", "verify", "lowering")
+
+
+def _src_root() -> str:
+    """The directory to put on the child's PYTHONPATH (repro's parent)."""
+    import repro
+    return str(pathlib.Path(repro.__file__).resolve().parents[1])
+
+
+def _run_child(model: str, mode: str, bundle: Optional[str],
+               n_cells: int, n_steps: int, dt: float, width: int,
+               workdir: pathlib.Path) -> Dict:
+    """One measurement process; returns its parsed result JSON."""
+    cache_dir = workdir / f"cache-{model}-{mode}"
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    result_path = workdir / f"result-{model}-{mode}.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _src_root()
+    env["LIMPET_CACHE_DIR"] = str(cache_dir)     # always a cold cache
+    env["LIMPET_COLDSTART_CONFIG"] = json.dumps({
+        "model": model, "mode": mode, "n_cells": n_cells,
+        "n_steps": n_steps, "dt": dt, "width": width,
+        "result_path": str(result_path)})
+    if mode == "artifact":
+        if bundle is None:
+            raise ValueError("artifact child needs a bundle directory")
+        env["LIMPET_ARTIFACT_DIR"] = str(bundle)
+        env.pop("LIMPET_ARTIFACTS", None)
+    else:
+        env.pop("LIMPET_ARTIFACT_DIR", None)
+        env["LIMPET_ARTIFACTS"] = "off"
+    proc = subprocess.run([sys.executable, "-c", _CHILD_SCRIPT],
+                          env=env, capture_output=True, text=True,
+                          timeout=600)
+    if proc.returncode != 0 or not result_path.is_file():
+        raise RuntimeError(
+            f"cold-start child ({model}, {mode}) failed rc="
+            f"{proc.returncode}:\n{proc.stderr[-2000:]}")
+    with open(result_path) as fh:
+        return json.load(fh)
+
+
+def coldstart_report(models: Sequence[str] = REPRESENTATIVE,
+                     bundle: Optional[str] = None,
+                     n_cells: int = 64, n_steps: int = 50,
+                     dt: float = 0.01, width: int = 8) -> Dict:
+    """Build the BENCH_PR8 report: per-model JIT vs artifact cold start.
+
+    ``bundle`` is an existing bundle directory; when None one is built
+    into a temporary directory first (its build time is reported).
+    """
+    from ..aot import build_bundle
+
+    with tempfile.TemporaryDirectory(prefix="limpet-coldstart-") as tmp:
+        workdir = pathlib.Path(tmp)
+        build_seconds = None
+        if bundle is None:
+            bundle = str(workdir / "bundle")
+            t0 = time.perf_counter()
+            report = build_bundle(bundle, models=list(models),
+                                  include_tuned=False, width=width)
+            build_seconds = time.perf_counter() - t0
+            failed = report.failed
+            if failed:
+                raise RuntimeError(
+                    "bundle build failed for: " +
+                    ", ".join(e.model for e in failed))
+        rows: List[Dict] = []
+        for model in models:
+            jit = _run_child(model, "jit", None, n_cells, n_steps,
+                             dt, width, workdir)
+            art = _run_child(model, "artifact", bundle, n_cells,
+                             n_steps, dt, width, workdir)
+            speedup = (jit["time_to_first_step"]
+                       / max(art["time_to_first_step"], 1e-12))
+            rows.append({"model": model, "jit": jit, "artifact": art,
+                         "speedup_time_to_first_step": speedup,
+                         "bitwise_identical":
+                         jit["state_sha256"] == art["state_sha256"]})
+    return {
+        "benchmark": "BENCH_PR8",
+        "config": {"models": list(models), "n_cells": n_cells,
+                   "n_steps": n_steps, "dt": dt, "width": width,
+                   "isolation": "one child process per measurement, "
+                                "scratch LIMPET_CACHE_DIR"},
+        "machine": {"platform": platform.platform(),
+                    "python": platform.python_version(),
+                    "available_cpus": os.cpu_count() or 1},
+        "bundle_build_seconds": build_seconds,
+        "models": rows,
+    }
+
+
+def format_coldstart_table(report: Dict) -> str:
+    """Render a :func:`coldstart_report` dict as a text table."""
+    cfg = report["config"]
+    lines = [
+        f"BENCH_PR8 — cold start, JIT vs AOT bundle "
+        f"({cfg['n_cells']} cells x {cfg['n_steps']} steps, "
+        f"width {cfg['width']}, fresh process + cold cache each)",
+        f"{'model':<22} {'jit ttfs':>11} {'artifact ttfs':>14} "
+        f"{'speedup':>8} {'bitwise':>8} {'0-compile':>10}",
+    ]
+    for row in report["models"]:
+        art = row["artifact"]
+        no_compile = not any(art["spans"].get(s) for s in COMPILE_SPANS)
+        lines.append(
+            f"{row['model']:<22} "
+            f"{row['jit']['time_to_first_step'] * 1e3:>9.1f}ms "
+            f"{art['time_to_first_step'] * 1e3:>12.1f}ms "
+            f"{row['speedup_time_to_first_step']:>7.2f}x "
+            f"{'yes' if row['bitwise_identical'] else 'NO':>8} "
+            f"{'yes' if no_compile and art['artifact_hit'] else 'NO':>10}")
+    if report.get("bundle_build_seconds") is not None:
+        lines.append(f"bundle build: "
+                     f"{report['bundle_build_seconds']:.2f}s "
+                     f"({len(report['models'])} models)")
+    return "\n".join(lines)
+
+
+def check_coldstart_report(report: Dict, min_speedup: float = 5.0,
+                           min_models: int = 3) -> List[str]:
+    """The PR8 acceptance assertions; returns failures (empty = ok)."""
+    failures: List[str] = []
+    fast = 0
+    for row in report.get("models", []):
+        model = row["model"]
+        art = row["artifact"]
+        if not row.get("bitwise_identical"):
+            failures.append(f"{model}: artifact trajectory is not "
+                            f"bitwise-identical to the JIT one")
+        if not art.get("artifact_hit"):
+            failures.append(f"{model}: artifact child fell back to JIT "
+                            f"(no bundle hit)")
+        for name in COMPILE_SPANS:
+            if art.get("spans", {}).get(name):
+                failures.append(
+                    f"{model}: artifact child ran {art['spans'][name]} "
+                    f"{name!r} span(s) — cold start was not zero-compile")
+        if row.get("speedup_time_to_first_step", 0.0) >= min_speedup:
+            fast += 1
+    if len(report.get("models", [])) < min_models:
+        failures.append(f"report covers {len(report.get('models', []))} "
+                        f"models; need >= {min_models}")
+    elif fast < min_models:
+        failures.append(
+            f"only {fast} model(s) reached {min_speedup:.0f}x "
+            f"time-to-first-step vs JIT; need >= {min_models}")
+    return failures

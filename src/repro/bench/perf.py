@@ -1,12 +1,15 @@
 """Measured before/after comparison for the PR2 performance layer.
 
-Times four variants of the same simulation on the same machine:
+Times five variants of the same simulation on the same machine:
 
-* ``baseline``     — unfused lowering, no cache (the pre-PR hot path);
-* ``fused``        — fused expression lowering;
-* ``fused_cached`` — fused lowering built from a warm persistent
+* ``baseline``       — unfused lowering, no cache (the pre-PR hot path);
+* ``fused``          — fused expression lowering;
+* ``fused_cached``   — fused lowering built from a warm persistent
   kernel cache (construction skips passes/verify/lowering);
-* ``sharded``      — fused lowering executed by a
+* ``fused_artifact`` — fused lowering served by the read-only AOT
+  artifact tier (:mod:`repro.aot`): construction skips passes, verify
+  and lowering, reading the prebuilt bundle entry instead;
+* ``sharded``        — fused lowering executed by a
   :class:`~repro.runtime.sharded.ShardedRunner` on N threads.
 
 Each variant reports construction time (pipeline + verify + lowering,
@@ -61,6 +64,14 @@ class PerfVariant:
     #: population batch instances advanced per kernel call (1 for
     #: ordinary variants; ``cell_steps_per_second`` includes it)
     instances: int = 1
+    #: did construction hit the AOT artifact tier?
+    artifact_hit: bool = False
+    #: compile + first-step latency of this variant's *first* run —
+    #: the cold-vs-warm-vs-artifact column of the standard report
+    time_to_first_step: Optional[float] = None
+    #: one-time kernel construction cost inside the runner (a subset
+    #: of ``construct_seconds``, which also covers codegen)
+    compile_seconds: Optional[float] = None
 
     @property
     def total_seconds(self) -> float:
@@ -93,23 +104,30 @@ def _timed_run(runner, n_cells: int, n_steps: int, dt: float,
     headline number).
     """
     samples: list = []
+    first_result: list = []
 
     def sample():
         state = runner.make_state(n_cells)
-        samples.append(runner.run(state, n_steps, dt).elapsed_seconds)
+        result = runner.run(state, n_steps, dt)
+        if not samples:
+            first_result.append(result)
+        samples.append(result.elapsed_seconds)
 
     steady_state(sample, warmup=1, repeats=runs)
     stats = TimingStats(samples=samples[1:])    # untimed warmup dropped
     seconds = stats.median
     breakdown = runner.run(runner.make_state(n_cells), n_steps, dt,
                            time_breakdown=True)
+    first = first_result[0] if first_result else None
     return PerfVariant(
         name="", construct_seconds=0.0, run_seconds=seconds,
         steps_per_second=n_steps / max(seconds, 1e-12),
         cell_steps_per_second=n_steps * n_cells / max(seconds, 1e-12),
         run_seconds_iqr=stats.iqr,
         compute_seconds=breakdown.compute_seconds,
-        overhead_seconds=breakdown.overhead_seconds)
+        overhead_seconds=breakdown.overhead_seconds,
+        time_to_first_step=getattr(first, "time_to_first_step", None),
+        compile_seconds=getattr(first, "compile_seconds", None))
 
 
 def perf_report(model_name: str = CANONICAL_MODEL,
@@ -172,6 +190,28 @@ def perf_report(model_name: str = CANONICAL_MODEL,
     fused_cached.construct_seconds = construct
     fused_cached.cache_hit = runner.cache_hit
 
+    # -- fused + AOT artifact bundle (zero-compile construction)
+    import tempfile
+
+    from ..aot import ArtifactStore, build_bundle
+    with tempfile.TemporaryDirectory() as tmp:
+        build_bundle(tmp, models=[model_name], include_tuned=False,
+                     width=width)
+        store = ArtifactStore(tmp)
+        art_check = KernelRunner(gen(), cache=None, artifacts=store)
+        art_state = art_check.simulate(check_cells, check_steps, dt).state
+        verdict = compare_trajectories(ref, art_state)
+        if not verdict:
+            raise AssertionError(
+                f"fused_artifact lowering diverged from unfused baseline "
+                f"on {model_name}: {verdict.describe()}")
+        runner, construct = _timed_construct(
+            lambda: KernelRunner(gen(), cache=None, artifacts=store))
+        fused_artifact = _timed_run(runner, n_cells, n_steps, dt, runs)
+        fused_artifact.name = "fused_artifact"
+        fused_artifact.construct_seconds = construct
+        fused_artifact.artifact_hit = runner.artifact_hit
+
     # -- sharded (fused, N threads)
     runner, construct = _timed_construct(
         lambda: ShardedRunner(gen(), n_threads=threads))
@@ -183,7 +223,7 @@ def perf_report(model_name: str = CANONICAL_MODEL,
     sharded.construct_seconds = construct
     sharded.threads = threads
 
-    variants = [baseline, fused, fused_cached, sharded]
+    variants = [baseline, fused, fused_cached, fused_artifact, sharded]
     base_total = baseline.total_seconds
     base_run = baseline.run_seconds
     speedups = {
@@ -400,6 +440,17 @@ def check_report(report: Dict) -> List[str]:
             "cache-hit construction not faster than full pipeline "
             f"({variants['fused_cached']['construct_seconds']:.4f}s vs "
             f"{variants['baseline']['construct_seconds']:.4f}s)")
+    artifact = variants.get("fused_artifact")   # pre-PR8 reports lack it
+    if artifact is not None:
+        if not artifact["artifact_hit"]:
+            failures.append("fused_artifact variant did not hit the "
+                            "AOT artifact tier")
+        if artifact["construct_seconds"] >= \
+                variants["baseline"]["construct_seconds"]:
+            failures.append(
+                "artifact-tier construction not faster than full "
+                f"pipeline ({artifact['construct_seconds']:.4f}s vs "
+                f"{variants['baseline']['construct_seconds']:.4f}s)")
     # Thread scaling needs parallel hardware: on a single-CPU machine
     # extra shards can only add overhead, so only assert it when the
     # box can actually run shards concurrently.

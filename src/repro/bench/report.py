@@ -190,24 +190,30 @@ def format_perf_table(report: Dict) -> str:
         f"{cfg['n_steps']} steps, dt={cfg['dt']}, "
         f"{cfg['threads']} threads "
         f"({machine.get('available_cpus', '?')} cpus available)",
-        f"{'variant':<14} {'construct':>11} {'run':>11} {'compute':>11} "
-        f"{'overhead':>11} {'total':>11} "
+        f"{'variant':<14} {'construct':>11} {'ttfs':>11} {'run':>11} "
+        f"{'compute':>11} {'overhead':>11} {'total':>11} "
         f"{'Mcell-steps/s':>14} {'speedup':>8}",
     ]
     for v in report["variants"]:
         total = v["construct_seconds"] + v["run_seconds"]
         compute = v.get("compute_seconds")
         overhead = v.get("overhead_seconds")
+        ttfs = v.get("time_to_first_step")
         compute_text = (f"{compute * 1e3:>9.1f}ms" if compute is not None
                         else f"{'-':>11}")
         overhead_text = (f"{overhead * 1e3:>9.1f}ms" if overhead is not None
                          else f"{'-':>11}")
+        ttfs_text = (f"{ttfs * 1e3:>9.1f}ms" if ttfs is not None
+                     else f"{'-':>11}")
         # a population axis multiplies throughput: make it visible
         name = v["name"]
         if v.get("instances", 1) > 1:
             name += f"[x{v['instances']}]"
+        if v.get("artifact_hit"):
+            name += "*"     # construction served by the AOT bundle
         lines.append(
             f"{name:<14} {v['construct_seconds'] * 1e3:>9.1f}ms "
+            f"{ttfs_text} "
             f"{v['run_seconds'] * 1e3:>9.1f}ms "
             f"{compute_text} {overhead_text} {total * 1e3:>9.1f}ms "
             f"{v['cell_steps_per_second'] / 1e6:>14.2f} "

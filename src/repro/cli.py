@@ -22,6 +22,17 @@ Subcommands:
   sweep: one kernel advances all N parameter-perturbed instances,
   timed against the loop-of-N shape it replaces (BENCH_PR7), with a
   bitwise differential gate between the two;
+* ``build-all`` — AOT-compile the whole model zoo (plus tuned variants
+  recorded in the tuning DB) into a versioned artifact bundle; any
+  process pointed at it via ``$LIMPET_ARTIFACT_DIR`` cold-starts with
+  zero compile work (see :mod:`repro.aot` and DESIGN.md §12);
+* ``artifacts {audit,list}`` — staleness audit of a bundle (re-derives
+  keys, flags pipeline/lowering/tuning/source drift, quarantines
+  corrupt entries; nonzero exit when anything drifted) / manifest
+  listing;
+* ``coldstart`` — the BENCH_PR8 measurement: JIT vs artifact-bundle
+  time-to-first-step in fresh child processes, with bitwise and
+  zero-compile-span proof;
 * ``cache-stats`` — kernel-cache and LUT-cache statistics;
 * ``trace MODEL`` — compile + run one model under the tracer and emit
   the span tree (parse -> frontend -> irgen -> passes -> lowering ->
@@ -276,6 +287,67 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.set_defaults(func=lambda args: cmd_sweep(
         args.model, args.params, args.absolute, args.cells, args.steps,
         args.dt, args.runs, args.width, args.json, args.check))
+
+    build_all = sub.add_parser(
+        "build-all", help="AOT-compile the model zoo into a versioned "
+                          "artifact bundle (zero-compile cold start)")
+    build_all.add_argument("--dest", default=None, metavar="DIR",
+                           help="bundle directory (default: "
+                                "$LIMPET_ARTIFACT_DIR)")
+    build_all.add_argument("--models", nargs="+", default=None,
+                           metavar="MODEL", choices=all_model_files(),
+                           help="subset to build (default: all models)")
+    build_all.add_argument("--width", type=int, default=8,
+                           choices=(2, 4, 8))
+    build_all.add_argument("--no-tuned", action="store_true",
+                           help="skip tuned variants recorded in the "
+                                "tuning DB")
+    build_all.add_argument("--db", default=None, metavar="PATH",
+                           help="tuning DB path (default: "
+                                "$LIMPET_TUNE_DB)")
+    build_all.set_defaults(func=lambda args: cmd_build_all(
+        args.dest, args.models, args.width, args.no_tuned, args.db))
+
+    artifacts = sub.add_parser(
+        "artifacts", help="inspect / audit an AOT artifact bundle")
+    artifacts.add_argument("action", choices=("audit", "list"))
+    artifacts.add_argument("--dir", default=None, metavar="DIR",
+                           help="bundle directory (default: "
+                                "$LIMPET_ARTIFACT_DIR)")
+    artifacts.add_argument("--db", default=None, metavar="PATH",
+                           help="tuning DB path for tuning-drift checks")
+    artifacts.add_argument("--no-deep", action="store_true",
+                           help="audit: skip key re-derivation "
+                                "(metadata checks only)")
+    artifacts.add_argument("--json", default=None, metavar="PATH",
+                           help="also write the report as JSON")
+    artifacts.set_defaults(func=lambda args: cmd_artifacts(
+        args.action, args.dir, args.db, args.no_deep, args.json))
+
+    coldstart = sub.add_parser(
+        "coldstart", help="JIT vs AOT-bundle cold start in fresh child "
+                          "processes (BENCH_PR8)")
+    coldstart.add_argument("--models", nargs="+", default=None,
+                           metavar="MODEL", choices=ALL_MODELS,
+                           help="models to measure (default: the "
+                                "representative set)")
+    coldstart.add_argument("--bundle", default=None, metavar="DIR",
+                           help="existing bundle to mount (default: "
+                                "build a fresh one into a temp dir)")
+    coldstart.add_argument("--cells", type=_positive_int, default=64)
+    coldstart.add_argument("--steps", type=_positive_int, default=50)
+    coldstart.add_argument("--width", type=int, default=8,
+                           choices=(2, 4, 8))
+    coldstart.add_argument("--json", default=None, metavar="PATH",
+                           help="also write the report as JSON "
+                                "(BENCH_PR8)")
+    coldstart.add_argument("--check", action="store_true",
+                           help="fail (exit 1) unless bitwise identity, "
+                                "zero compile spans, and >= 5x on >= 3 "
+                                "models hold")
+    coldstart.set_defaults(func=lambda args: cmd_coldstart(
+        args.models, args.bundle, args.cells, args.steps, args.width,
+        args.json, args.check))
 
     cache_stats = sub.add_parser(
         "cache-stats", help="kernel-cache and LUT-cache statistics")
@@ -617,6 +689,102 @@ def cmd_tune(model: Optional[str], cells: Optional[int],
     return EXIT_OK
 
 
+def cmd_build_all(dest: Optional[str], models: Optional[List[str]],
+                  width: int, no_tuned: bool,
+                  db_path: Optional[str]) -> int:
+    from .aot import build_bundle, default_artifact_dir
+    target = dest or default_artifact_dir()
+    if target is None:
+        print("build-all: no destination — pass --dest or set "
+              "$LIMPET_ARTIFACT_DIR", file=sys.stderr)
+        return EXIT_USAGE
+    db = None
+    if not no_tuned:
+        from .tuning import TuningDB
+        db = TuningDB(path=db_path)
+    report = build_bundle(target, models=models, db=db, width=width,
+                          include_tuned=not no_tuned)
+    print(report.describe())
+    for entry in report.failed:
+        print(f"FAILED {entry.model} [{entry.variant}]: {entry.error}",
+              file=sys.stderr)
+    return EXIT_OK if report.ok else EXIT_COMPILE_FAILED
+
+
+def cmd_artifacts(action: str, bundle_dir: Optional[str],
+                  db_path: Optional[str], no_deep: bool,
+                  json_path: Optional[str]) -> int:
+    import json as _json
+
+    from .aot import ArtifactStore, audit_bundle, default_artifact_dir
+    root = bundle_dir or default_artifact_dir()
+    if root is None:
+        print("artifacts: no bundle — pass --dir or set "
+              "$LIMPET_ARTIFACT_DIR", file=sys.stderr)
+        return EXIT_USAGE
+    if action == "list":
+        manifest = ArtifactStore(root).manifest()
+        if manifest is None:
+            print(f"artifacts: no readable bundle at {root}",
+                  file=sys.stderr)
+            return EXIT_FAILURE
+        entries = manifest.get("entries", {})
+        built = manifest.get("created_at")
+        if isinstance(built, (int, float)):
+            import datetime
+            built = datetime.datetime.fromtimestamp(built) \
+                .strftime("%Y-%m-%d %H:%M:%S")
+        print(f"bundle {root}: {len(entries)} kernel(s), pipeline "
+              f"{manifest.get('pipeline_fingerprint', '?')[:12]}, "
+              f"built {built or '?'}")
+        print(f"{'model':<24} {'backend':<12} {'width':>5} "
+              f"{'variant':<28} {'key':<12}")
+        for key, meta in sorted(entries.items(),
+                                key=lambda kv: (kv[1]['model'],
+                                                kv[1]['variant'])):
+            variant = meta["variant"]
+            if len(variant) > 28:
+                variant = variant[:25] + "..."
+            print(f"{meta['model']:<24} {meta['backend']:<12} "
+                  f"{meta['width']:>5} {variant:<28} {key[:12]}")
+        return EXIT_OK
+    db = None
+    if db_path is not None:
+        from .tuning import TuningDB
+        db = TuningDB(path=db_path)
+    report = audit_bundle(root, db=db, deep=not no_deep)
+    print(report.describe())
+    if json_path:
+        with open(json_path, "w") as fh:
+            _json.dump(report.as_dict(), fh, indent=2)
+        print(f"report written to {json_path}")
+    return EXIT_OK if report.ok else EXIT_FAILURE
+
+
+def cmd_coldstart(models: Optional[List[str]], bundle: Optional[str],
+                  cells: int, steps: int, width: int,
+                  json_path: Optional[str], check: bool) -> int:
+    from .bench.coldstart import (REPRESENTATIVE, check_coldstart_report,
+                                  coldstart_report, format_coldstart_table)
+    from .bench.perf import write_report
+    report = coldstart_report(models=models or REPRESENTATIVE,
+                              bundle=bundle, n_cells=cells,
+                              n_steps=steps, width=width)
+    print(format_coldstart_table(report))
+    if json_path:
+        write_report(report, json_path)
+        print(f"report written to {json_path}")
+    if check:
+        failures = check_coldstart_report(report)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        if failures:
+            return EXIT_FAILURE
+        print("checks passed: bitwise identity, zero compile spans, "
+              "cold-start speedup bar met")
+    return EXIT_OK
+
+
 def cmd_cache_stats(cache_dir: Optional[str], clear: bool) -> int:
     from .runtime.kernel_cache import KernelCache, default_cache_dir
     root = cache_dir or default_cache_dir()
@@ -694,6 +862,15 @@ def cmd_metrics(prom: bool) -> int:
         KernelRunner(generate_limpet_mlir(model), cache=cache)
         runner = KernelRunner(generate_limpet_mlir(model), cache=cache)
         runner.run(runner.make_state(64), 20, 0.01)
+    with tempfile.TemporaryDirectory() as tmp:
+        # artifact tier: one build, one hit, one miss
+        from .aot import ArtifactStore, build_bundle
+        build_bundle(tmp, models=["Plonsey"], include_tuned=False)
+        store = ArtifactStore(tmp)
+        KernelRunner(generate_limpet_mlir(model), cache=None,
+                     artifacts=store)
+        KernelRunner(generate_limpet_mlir(load_model("FitzHughNagumo")),
+                     cache=None, artifacts=store)
     with ShardedRunner(generate_limpet_mlir(model),
                        n_threads=2) as sharded:
         sharded.run(sharded.make_state(64), 10, 0.01)

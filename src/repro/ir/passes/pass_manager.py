@@ -102,15 +102,18 @@ class PassManager:
     def fingerprint(self) -> str:
         """A stable content-address of this pipeline's behaviour.
 
-        Any change to the pass list, a pass version, the iteration
-        budget or per-pass verification yields a different string, so
-        the persistent kernel cache can never serve a kernel produced
-        by a different pipeline.
+        Any change to the pass list, a pass version, or the iteration
+        budget yields a different string, so the persistent kernel
+        cache (and the AOT artifact bundles) can never serve a kernel
+        produced by a different pipeline.  ``verify_each`` is
+        deliberately NOT part of the fingerprint: per-pass verification
+        only checks the module, it never transforms it, so the plain
+        and sandboxed default pipelines produce identical IR and must
+        share one content address.
         """
         stages = ",".join(f"{p.name}@{getattr(p, 'version', 1)}"
                           for p in self.passes)
-        return (f"[{stages}];iters={self.max_iterations};"
-                f"verify_each={self.verify_each}")
+        return f"[{stages}];iters={self.max_iterations}"
 
     def run(self, module: Module, fixed_point: bool = False) -> bool:
         """Run the pipeline once (or until stable); return overall change."""

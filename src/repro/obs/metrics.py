@@ -36,6 +36,18 @@ bare gauges).  The canonical set, wired in this PR:
                                 latest population run
 ``sweep_compile_reuse_total``   sweeps served by an already-compiled
                                 population kernel (same shape)
+``artifact_hits_total``         kernels served by the AOT artifact tier
+``artifact_misses_total``       artifact-tier lookups that fell through
+                                to JIT compilation
+``artifact_stale_total``        bundle entries rejected/flagged because
+                                an input drifted (source, pipeline,
+                                lowering, tuning)
+``artifact_corrupt_total``      bundle entries failing their checksum
+                                (audit quarantines them)
+``artifact_build_seconds``      histogram: per-kernel ``build-all``
+                                compile time
+``cache_readonly_fallbacks_total`` persistent tiers degraded to
+                                read-only operation
 ==============================  =======================================
 
 All mutation is lock-per-metric; creation is lock-on-registry.  The

@@ -82,7 +82,7 @@ def compile_resilient(model: Union[str, IonicModel],
                       reproducer_dir: Optional[pathlib.Path] = None,
                       inject=None, tune: bool = False,
                       tune_cells: int = 512, tune_dt: float = 0.01,
-                      tune_db=None) -> ResilientKernel:
+                      tune_db=None, artifacts=None) -> ResilientKernel:
     """Compile ``model`` down the backend fallback chain.
 
     Tries each tier in ``chain`` in order; a tier fails when code
@@ -98,6 +98,14 @@ def compile_resilient(model: Union[str, IonicModel],
     :class:`KernelRunner` (see ``KernelRunner(tune=True)``): a recorded
     winner for the ``tune_cells``/``tune_dt`` workload silently
     replaces the tier's default variant, and a miss changes nothing.
+
+    When an AOT artifact bundle is mounted (``$LIMPET_ARTIFACT_DIR``,
+    or an explicit ``artifacts=`` store), each tier first tries the
+    bundle's zero-compile path — on a hit the kernel is exec'd straight
+    from the bundle with no passes, verification or lowering at all;
+    on a miss (or a stale/corrupt entry) a Diagnostic records the
+    fall-back to ordinary JIT compilation.  Fault-injection runs
+    (``inject=``) always JIT so drills exercise the real pipeline.
     """
     tune_kwargs = dict(tune=tune, tune_cells=tune_cells,
                        tune_dt=tune_dt, tune_db=tune_db)
@@ -105,8 +113,40 @@ def compile_resilient(model: Union[str, IonicModel],
         model = load_model(model)
     if not chain:
         raise ValueError("empty fallback chain")
+    from ..aot.bundle import resolve_store, runner_from_store
+    store = None if inject is not None else resolve_store(artifacts)
     diagnostics: List[Diagnostic] = []
     for tier, backend in enumerate(chain):
+        if store is not None:
+            try:
+                runner = runner_from_store(
+                    model, backend=backend,
+                    width=1 if backend == "baseline" else width,
+                    use_lut=use_lut, store=store, **tune_kwargs)
+            except Exception as err:  # noqa: BLE001 - tier boundary
+                runner = None
+                diagnostics.append(log_diagnostic(Diagnostic.from_exception(
+                    stage="compile", component="artifacts", exc=err,
+                    severity=Severity.WARNING, with_traceback=False,
+                    tier=tier, model=model.name)))
+            if runner is not None:
+                diagnostics.append(log_diagnostic(Diagnostic(
+                    stage="compile", component=backend,
+                    severity=Severity.INFO,
+                    message=(f"loaded {model.name} from AOT artifact "
+                             f"bundle via {backend!r} (zero compile)"),
+                    data={"tier": tier, "model": model.name,
+                          "artifact": True})))
+                return ResilientKernel(
+                    model_name=model.name, backend=backend,
+                    requested=chain[0], kernel=runner.generated,
+                    runner=runner, diagnostics=diagnostics)
+            diagnostics.append(log_diagnostic(Diagnostic(
+                stage="compile", component="artifacts",
+                severity=Severity.INFO,
+                message=(f"no usable AOT artifact for {model.name} via "
+                         f"{backend!r}; falling back to JIT"),
+                data={"tier": tier, "model": model.name})))
         pipeline: Optional[SandboxedPassManager] = None
         try:
             with _trace.span("compile_tier", model=model.name,

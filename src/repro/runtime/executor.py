@@ -74,6 +74,15 @@ class RunResult:
     #: per-instance results so throughput stays comparable — the kernel
     #: really advanced ``instances × n_cells`` cells per step.
     instances: int = 1
+    #: one-time kernel construction cost of the runner that produced
+    #: this result (passes + verify + lowering on a JIT build, ~0 on a
+    #: cache or AOT-artifact hit) — ``None`` on results not produced
+    #: through :meth:`KernelRunner.run`
+    compile_seconds: Optional[float] = None
+    #: compile_seconds + the first step's wall time: how long a fresh
+    #: process waits for its first simulated step.  ``None`` on guarded
+    #: (watchdog) runs and zero-step runs.
+    time_to_first_step: Optional[float] = None
 
     @property
     def seconds_per_step(self) -> float:
@@ -151,7 +160,8 @@ class KernelRunner:
                  cache=None, tune: bool = False, tune_cells: int = 512,
                  tune_dt: float = 0.01, tune_db=None,
                  profile: bool = False,
-                 population: Optional[str] = None):
+                 population: Optional[str] = None,
+                 artifacts=None):
         self.population = population
         self.tuned_config = None
         if tune:
@@ -168,10 +178,22 @@ class KernelRunner:
         self.cache: Optional[KernelCache] = (
             None if profile
             else default_cache() if cache is True else cache or None)
+        # the read-only AOT artifact tier, consulted after a cache
+        # miss (profiled kernels bypass it like they bypass the cache)
+        if profile:
+            self.artifacts = None
+        else:
+            from ..aot.bundle import resolve_store
+            self.artifacts = resolve_store(artifacts)
         self.cache_hit = False
+        self.artifact_hit = False
         self.cache_key: Optional[str] = None
+        _t0 = _time.perf_counter()
         self.kernel: CompiledKernel = self._build_kernel(
             optimize, verify, pipeline)
+        #: one-time construction cost: passes + verify + lowering on a
+        #: JIT build, just source exec on a cache/artifact hit
+        self.compile_seconds: float = _time.perf_counter() - _t0
         # LUTs include dt-dependent Rush-Larsen columns: built lazily
         # for the dt of the first step, rebuilt if dt changes.  Keyed by
         # quantized dt, LRU-bounded so watchdog dt-halving cannot leak.
@@ -210,6 +232,17 @@ class KernelRunner:
     def _build_kernel(self, optimize: bool, verify: bool,
                       pipeline: Optional[PassManager]) -> CompiledKernel:
         generated = self.generated
+        payload = getattr(generated, "payload", None)
+        if payload and generated.module is None:
+            # an ArtifactKernel straight from a bundle: the payload IS
+            # the finished JIT product — exec it, skip everything
+            self.artifact_hit = True
+            self.cache_key = getattr(generated, "key", "") or None
+            return compile_kernel_source(
+                payload["function_name"], payload["source"],
+                payload["mode"], payload["width"],
+                payload["arg_names"], fused=payload["fused"],
+                arena=payload["arena"])
         if pipeline is not None:
             fingerprint = pipeline.fingerprint()
         elif optimize:
@@ -227,6 +260,22 @@ class KernelRunner:
                 look.annotate(hit=payload is not None)
             if payload is not None:
                 self.cache_hit = True
+                return compile_kernel_source(
+                    payload["function_name"], payload["source"],
+                    payload["mode"], payload["width"],
+                    payload["arg_names"], fused=payload["fused"],
+                    arena=payload["arena"])
+        if self.artifacts is not None:
+            if self.cache_key is None:
+                self.cache_key = kernel_cache_key(
+                    generated, fingerprint, self.fuse, self.arena, verify,
+                    population=self.population)
+            with _trace.span("artifact_lookup",
+                             model=self.model.name) as look:
+                payload = self.artifacts.lookup_kernel(self.cache_key)
+                look.annotate(hit=payload is not None)
+            if payload is not None:
+                self.artifact_hit = True
                 return compile_kernel_source(
                     payload["function_name"], payload["source"],
                     payload["mode"], payload["width"],
@@ -253,7 +302,11 @@ class KernelRunner:
                                     generated.spec.function_name,
                                     fuse=self.fuse, arena=self.arena,
                                     profile=self.profile)
-        if self.cache is not None and self.cache_key is not None:
+        if self.cache is not None and self.cache_key is not None \
+                and not getattr(pipeline, "quarantined", None):
+            # a sandboxed pipeline that quarantined passes produced a
+            # module the full pipeline would not have: storing it under
+            # the full-pipeline key would poison every later consumer
             self.cache.store(self.cache_key, kernel.source, kernel.mode,
                              kernel.width, kernel.arg_names,
                              kernel.name, fused=kernel.fused,
@@ -396,11 +449,23 @@ class KernelRunner:
             elapsed = clock() - start
             return RunResult(state=state, n_steps=n_steps, dt=dt,
                              elapsed_seconds=elapsed, vm_trace=trace,
-                             compute_seconds=compute_total)
+                             compute_seconds=compute_total,
+                             compile_seconds=getattr(
+                                 self, "compile_seconds", None))
+        compile_seconds = getattr(self, "compile_seconds", None)
+        first_step = None
         start = _time.perf_counter()
         if trace is None and step_hook is None:
-            # hot path: no per-step branch checks at all
-            for _ in range(n_steps):
+            # hot path: the first step is peeled (it binds arguments
+            # and builds LUTs, and times the cold-start latency); the
+            # remaining loop has no per-step branch checks at all
+            if n_steps > 0:
+                compute(state, dt)
+                solver(state, dt, stimulus)
+                state.time += dt
+                state.steps_done += 1
+                first_step = _time.perf_counter() - start
+            for _ in range(n_steps - 1):
                 compute(state, dt)
                 solver(state, dt, stimulus)
                 state.time += dt
@@ -412,13 +477,19 @@ class KernelRunner:
                 solver(state, dt, stimulus)
                 state.time += dt
                 state.steps_done += 1
+                if step == 0:
+                    first_step = _time.perf_counter() - start
                 if trace is not None:
                     trace[step] = vm[0]
                 if step_hook is not None:
                     step_hook(state)
         elapsed = _time.perf_counter() - start
+        ttfs = None if first_step is None or compile_seconds is None \
+            else compile_seconds + first_step
         return RunResult(state=state, n_steps=n_steps, dt=dt,
-                         elapsed_seconds=elapsed, vm_trace=trace)
+                         elapsed_seconds=elapsed, vm_trace=trace,
+                         compile_seconds=compile_seconds,
+                         time_to_first_step=ttfs)
 
     # -- the guarded (watchdog) path ----------------------------------------------
 

@@ -32,9 +32,14 @@ supervised worker processes):
 * mutations (store, evict, stats bumps) run under an **advisory
   ``flock``** (:mod:`repro.runtime.locking`) so concurrent writers
   serialize — stats counts are exact, not best-effort;
-* an **unwritable cache root** (read-only ``$LIMPET_CACHE_DIR``, a
-  path under a file, a full disk) degrades to an in-memory dict with a
-  logged Diagnostic instead of raising at first write.
+* an **unwritable-but-readable cache root** (a read-only
+  ``$LIMPET_CACHE_DIR`` mount, the shared AOT artifact tier) degrades
+  to **read-only operation**: disk hits keep being served with no LRU
+  touches, no ``stats.json`` bumps and no lock attempts, while stores
+  land in an in-memory overlay for this process only;
+* a cache root that cannot even be read (a path under a file, a full
+  disk at mkdir time) degrades further to an in-memory dict — in both
+  cases with a logged Diagnostic instead of raising at first write.
 """
 
 from __future__ import annotations
@@ -132,18 +137,55 @@ class KernelCache:
     back to an in-memory dict when the directory is unwritable.
     """
 
-    def __init__(self, root, max_entries: int = 512):
+    def __init__(self, root, max_entries: int = 512,
+                 read_only: bool = False):
         self.root = pathlib.Path(root)
         self.max_entries = max_entries
         self.stats = CacheStats()
         #: non-None once the cache degraded to memory-only operation
         self._memory: Optional[Dict[str, Dict]] = None
+        #: absorbs stores while the cache operates read-only
+        self._overlay: Dict[str, Dict] = {}
+        self._read_only = bool(read_only)
+        if self._read_only:
+            return
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except OSError as err:
-            self._fall_back_to_memory(err)
+            if self.root.is_dir() and os.access(self.root, os.R_OK):
+                self._fall_back_to_read_only(err)
+            else:
+                self._fall_back_to_memory(err)
+            return
+        if not os.access(self.root, os.W_OK):
+            self._fall_back_to_read_only(None)
 
-    # -- degraded (in-memory) mode -------------------------------------------------
+    # -- degraded (read-only / in-memory) modes ------------------------------------
+
+    def _fall_back_to_read_only(self,
+                                error: Optional[BaseException]) -> None:
+        """Serve disk hits, absorb writes in memory; record why.
+
+        The middle rung of the degradation ladder: the root cannot be
+        written (read-only mount, permissions) but its entries are
+        still perfectly readable, so — unlike the memory fallback —
+        every previously stored kernel keeps hitting.
+        """
+        if self._read_only:
+            return
+        self._read_only = True
+        from ..resilience.diagnostics import (Diagnostic, Severity,
+                                              log_diagnostic)
+        log_diagnostic(Diagnostic(
+            stage="cache", component="kernel_cache",
+            message=(f"cache root {self.root} is not writable; "
+                     "continuing read-only (stores kept in memory)"),
+            severity=Severity.WARNING,
+            data={"root": str(self.root),
+                  "error": repr(error) if error is not None else None}))
+        _metrics.counter(
+            "cache_readonly_fallbacks_total",
+            "persistent tiers degraded to read-only operation").inc()
 
     def _fall_back_to_memory(self, error: BaseException) -> None:
         """Degrade to an in-memory dict; record why, never raise."""
@@ -165,6 +207,11 @@ class KernelCache:
         """True when the cache degraded to memory-only operation."""
         return self._memory is not None
 
+    @property
+    def read_only(self) -> bool:
+        """True when the cache serves disk reads but never writes."""
+        return self._read_only
+
     # -- entries -----------------------------------------------------------------
 
     def _path(self, key: str) -> pathlib.Path:
@@ -173,25 +220,33 @@ class KernelCache:
     def _lock_path(self) -> pathlib.Path:
         return self.root / ".lock"
 
-    def _quarantine(self, path: pathlib.Path, reason: str) -> None:
-        """Move a corrupt entry aside so it cannot poison later reads."""
+    def _quarantine(self, path: pathlib.Path, reason: str,
+                    move: bool = True) -> None:
+        """Move a corrupt entry aside so it cannot poison later reads.
+
+        With ``move=False`` (the read-only cache mode) the entry is
+        left in place — we must not mutate a shared read-only mount —
+        and only the diagnostic and counters are recorded.
+        """
         self.stats.corrupt += 1
         target = None
-        try:
-            qdir = self.root / QUARANTINE_DIR
-            qdir.mkdir(parents=True, exist_ok=True)
-            target = qdir / path.name
-            os.replace(path, target)
-        except OSError:
-            try:                        # quarantine failed: drop instead
-                path.unlink()
+        if move:
+            try:
+                qdir = self.root / QUARANTINE_DIR
+                qdir.mkdir(parents=True, exist_ok=True)
+                target = qdir / path.name
+                os.replace(path, target)
             except OSError:
-                pass
+                try:                    # quarantine failed: drop instead
+                    path.unlink()
+                except OSError:
+                    pass
         from ..resilience.diagnostics import (Diagnostic, Severity,
                                               log_diagnostic)
+        verb = "quarantined" if move else "left in place (read-only)"
         log_diagnostic(Diagnostic(
             stage="cache", component="kernel_cache",
-            message=f"quarantined corrupt entry {path.name}: {reason}",
+            message=f"corrupt entry {path.name} {verb}: {reason}",
             severity=Severity.WARNING,
             data={"entry": path.name,
                   "quarantined_to": str(target) if target else None}))
@@ -216,6 +271,11 @@ class KernelCache:
             _metrics.counter("kernel_cache_hits_total",
                              "persistent kernel-cache hits").inc()
             return payload
+        if self._read_only and key in self._overlay:
+            self.stats.hits += 1
+            _metrics.counter("kernel_cache_hits_total",
+                             "persistent kernel-cache hits").inc()
+            return self._overlay[key]
         path = self._path(key)
         payload = None
         corrupt_reason = None
@@ -234,20 +294,23 @@ class KernelCache:
             if path.exists():
                 corrupt_reason = f"unreadable ({type(err).__name__})"
         if corrupt_reason is not None:
-            self._quarantine(path, corrupt_reason)
+            self._quarantine(path, corrupt_reason,
+                             move=not self._read_only)
             payload = None
         if payload is None:
             self.stats.misses += 1
-            self._bump("misses")
+            if not self._read_only:
+                self._bump("misses")
             _metrics.counter("kernel_cache_misses_total",
                              "persistent kernel-cache misses").inc()
             return None
-        try:
-            path.touch()                  # refresh LRU recency
-        except OSError:
-            pass
+        if not self._read_only:
+            try:
+                path.touch()              # refresh LRU recency
+            except OSError:
+                pass
+            self._bump("hits")
         self.stats.hits += 1
-        self._bump("hits")
         _metrics.counter("kernel_cache_hits_total",
                          "persistent kernel-cache hits").inc()
         return payload
@@ -269,6 +332,9 @@ class KernelCache:
         if self._memory is not None:
             self._memory[key] = payload
             return
+        if self._read_only:
+            self._overlay[key] = payload
+            return
         tmp = self._path(key).with_suffix(".tmp")
         try:
             with file_lock(self._lock_path()):
@@ -280,8 +346,12 @@ class KernelCache:
                 tmp.unlink()
             except OSError:
                 pass
-            self._fall_back_to_memory(err)
-            self._memory[key] = payload
+            if self.root.is_dir() and os.access(self.root, os.R_OK):
+                self._fall_back_to_read_only(err)
+                self._overlay[key] = payload
+            else:
+                self._fall_back_to_memory(err)
+                self._memory[key] = payload
 
     def _evict(self) -> None:
         entries = sorted((p for p in self.root.glob("*.json")
@@ -304,6 +374,10 @@ class KernelCache:
         if self._memory is not None:
             removed = len(self._memory)
             self._memory.clear()
+            return removed
+        if self._read_only:
+            removed = len(self._overlay)
+            self._overlay.clear()
             return removed
         with file_lock(self._lock_path()):
             for path in self.root.glob("*.json"):
@@ -331,7 +405,7 @@ class KernelCache:
         lock is unavailable the update still happens atomically and
         merely degrades to best-effort, the pre-lock behaviour.)
         """
-        if self._memory is not None:
+        if self._memory is not None or self._read_only:
             return
         path = self._stats_path()
         tmp = path.with_name(

@@ -114,8 +114,14 @@ class ShardedRunner(KernelRunner):
                 "ShardedRunner cannot shard SoA kernels: their slot "
                 "stride is the `end` argument, so they are only valid "
                 "over the whole allocation (end == n_alloc)")
-        self.parallel_marked = _module_has_omp(
-            generated.module, generated.spec.function_name)
+        if generated.module is None:
+            # an AOT ArtifactKernel: no module to walk — the bundle
+            # entry recorded whether the kernel was omp-marked
+            self.parallel_marked = bool(
+                getattr(generated, "omp_parallel", False))
+        else:
+            self.parallel_marked = _module_has_omp(
+                generated.module, generated.spec.function_name)
         if require_omp and not self.parallel_marked:
             raise ValueError(
                 f"kernel {generated.spec.function_name} has no "
