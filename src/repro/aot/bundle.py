@@ -473,4 +473,8 @@ def runner_from_store(model, backend: str = "limpet_mlir",
     if config is not None:
         runner.tuned_config = config
     _count_hit()
+    from ..obs import ledger as _ledger
+    _ledger.record_event("artifact_load", model=name, backend=backend,
+                         key=key, cache="artifact", variant=variant,
+                         disposition="ok")
     return runner

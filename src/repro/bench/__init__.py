@@ -10,6 +10,8 @@ from .perf import (CANONICAL_CELLS, CANONICAL_DT, CANONICAL_MODEL,
                    CANONICAL_STEPS, CANONICAL_WIDTH, PerfVariant,
                    check_report, check_sweep_report, combine_sweep_reports,
                    perf_report, sweep_report, write_report)
+from .regress import (GateRow, extract_metrics, format_gate_table,
+                      measure_current, perf_gate)
 from .report import (THREAD_SWEEP, figure_isa_sweep, figure_roofline,
                      figure_scaling, figure_speedups, format_isa_sweep,
                      format_perf_table, format_scaling_table,
@@ -28,6 +30,8 @@ __all__ = ["PAPER_CELLS", "PAPER_DT", "PAPER_STEPS", "VARIANTS",
            "perf_report", "sweep_report", "format_sweep_report",
            "write_report", "REPRESENTATIVE", "check_coldstart_report",
            "coldstart_report", "format_coldstart_table",
+           "GateRow", "extract_metrics", "format_gate_table",
+           "measure_current", "perf_gate",
            "THREAD_SWEEP", "figure_isa_sweep", "figure_roofline",
            "figure_scaling", "figure_speedups", "format_isa_sweep",
            "format_perf_table", "format_scaling_table",

@@ -57,7 +57,12 @@ from repro.obs import trace as _trace
 from repro.runtime import KernelRunner
 
 cfg = json.loads(os.environ["LIMPET_COLDSTART_CONFIG"])
-tracer = _trace.Tracer()
+# join the parent's trace when it exported one ($LIMPET_TRACE_CONTEXT):
+# same trace id, wall-clock-alignable via merge_files
+ctx = _trace.TraceContext.from_env()
+tracer = _trace.Tracer(
+    context=ctx,
+    process_name="limpet-coldstart-%s-%s" % (cfg["model"], cfg["mode"]))
 _trace.activate(tracer)
 
 t0 = time.perf_counter()
@@ -94,6 +99,14 @@ with open(cfg["result_path"], "w") as fh:
                "compile_seconds": result.compile_seconds,
                "artifact_hit": artifact_hit,
                "spans": spans, "state_sha256": digest}, fh)
+
+trace_dir = os.environ.get("LIMPET_TRACE")
+if trace_dir:
+    # one trace file per child; Tracer.merge_files stitches them with
+    # the parent's (wall-clock aligned via trace_start_unix_s)
+    tracer.write(os.path.join(
+        trace_dir, "trace-coldstart-%s-%s-%d.json"
+        % (cfg["model"], cfg["mode"], os.getpid())))
 """
 
 #: compile-stage span names that must NOT appear in an artifact child
@@ -116,6 +129,12 @@ def _run_child(model: str, mode: str, bundle: Optional[str],
     env = dict(os.environ)
     env["PYTHONPATH"] = _src_root()
     env["LIMPET_CACHE_DIR"] = str(cache_dir)     # always a cold cache
+    # propagate the parent's trace identity so the child's $LIMPET_TRACE
+    # dump (if any) merges under the same trace id
+    from ..obs import trace as _trace
+    tracer = _trace.active_tracer()
+    if tracer is not None:
+        tracer.context().to_env(env)
     env["LIMPET_COLDSTART_CONFIG"] = json.dumps({
         "model": model, "mode": mode, "n_cells": n_cells,
         "n_steps": n_steps, "dt": dt, "width": width,

@@ -45,7 +45,20 @@ Subcommands:
 * ``faults`` — the fault-injection drill: deterministically break a
   pass, corrupt IR, poison a run with NaNs, fail backends, kill and
   stall supervised workers, corrupt on-disk cache entries — then
-  check the resilience layer recovers from every one.
+  check the resilience layer recovers from every one;
+* ``ledger`` — inspect the append-only run ledger ($LIMPET_LEDGER):
+  every run/compile/degradation row, ``--summary`` per-model rollup;
+* ``flight`` — show/list crash flight-recorder dumps (the bounded ring
+  of recent spans/metrics written on worker death, degradation,
+  quarantine or unhandled exception).
+
+``perf --baseline BENCH_PR8.json`` switches ``perf`` into the
+regression gate: re-measure the baseline's configuration and exit
+non-zero when a tracked metric regressed beyond ``--tolerance``
+(``--inject-slowdown`` self-tests the trip wire).  ``trace MODEL
+--workers N`` runs on the supervised tier and merges worker spans into
+one multi-pid trace; ``trace --merge DIR`` stitches per-process
+``trace-*.json`` files offline.
 
 ``run --workers N`` executes on the supervised multiprocess tier
 (crash-isolated worker processes over shared memory; see
@@ -214,9 +227,26 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--check", action="store_true",
                       help="fail (exit 1) unless fused >= unfused and "
                            "the cache hit sped up construction")
+    perf.add_argument("--baseline", default=None, metavar="PATH",
+                      help="regression-gate mode: re-measure the given "
+                           "BENCH_*.json's configuration and fail "
+                           "(exit 1) on any metric regressed beyond "
+                           "--tolerance")
+    perf.add_argument("--tolerance", type=_positive_float, default=0.15,
+                      help="allowed fractional regression per metric "
+                           "in --baseline mode (default: 0.15)")
+    perf.add_argument("--repeats", type=_positive_int, default=2,
+                      help="--baseline mode: best-of-N re-measurements "
+                           "for noisy cold-start benchmarks (default 2)")
+    perf.add_argument("--inject-slowdown", type=_positive_float,
+                      default=None, metavar="FACTOR", dest="slowdown",
+                      help="--baseline mode self-test: synthetically "
+                           "degrade every current metric by FACTOR so "
+                           "the gate demonstrably trips")
     perf.set_defaults(func=lambda args: cmd_perf(
         args.model, args.cells, args.steps, args.dt, args.threads,
-        args.runs, args.json, args.check, args.width))
+        args.runs, args.json, args.check, args.width, args.baseline,
+        args.tolerance, args.repeats, args.slowdown))
 
     tune = sub.add_parser(
         "tune", help="cost-model-guided kernel autotuner "
@@ -363,7 +393,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd = sub.add_parser(
         "trace", help="compile + run one model under the tracer; "
                       "emit the span tree and Chrome trace JSON")
-    _add_model_argument(trace_cmd)
+    trace_cmd.add_argument("model", nargs="?", default=None,
+                           choices=ALL_MODELS, metavar="MODEL",
+                           help="ionic model name (see 'limpet-bench "
+                                "list'); optional with --merge")
     trace_cmd.add_argument("--backend", default="limpet_mlir",
                            choices=("baseline", "limpet_mlir", "icc_simd"))
     trace_cmd.add_argument("--width", type=int, default=8,
@@ -371,6 +404,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("--cells", type=_positive_int, default=256)
     trace_cmd.add_argument("--steps", type=_positive_int, default=50)
     trace_cmd.add_argument("--dt", type=_positive_float, default=0.01)
+    trace_cmd.add_argument("--workers", type=_positive_int, default=0,
+                           metavar="N",
+                           help="run on the supervised tier with N "
+                                "forked workers; their spans stream "
+                                "back into one multi-pid trace")
+    trace_cmd.add_argument("--merge", default=None, metavar="DIR",
+                           help="instead of running: stitch every "
+                                "trace-*.json under DIR into one "
+                                "wall-clock-aligned trace (--out)")
     trace_cmd.add_argument("--out", default=None, metavar="PATH",
                            help="trace-event JSON output path "
                                 "(default: trace_MODEL.json)")
@@ -379,7 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "measured per-op hot table")
     trace_cmd.set_defaults(func=lambda args: cmd_trace(
         args.model, args.backend, args.width, args.cells, args.steps,
-        args.dt, args.out, args.profile))
+        args.dt, args.out, args.profile, args.workers, args.merge))
 
     metrics_cmd = sub.add_parser(
         "metrics", help="run a representative workload and dump the "
@@ -400,6 +442,47 @@ def build_parser() -> argparse.ArgumentParser:
                              "bundles (default: a temporary directory)")
     faults.set_defaults(func=lambda args: cmd_faults(
         args.smoke, args.reproducer_dir))
+
+    ledger_cmd = sub.add_parser(
+        "ledger", help="inspect the append-only run ledger "
+                       "($LIMPET_LEDGER)")
+    ledger_cmd.add_argument("--path", default=None, metavar="PATH",
+                            help="ledger file (default: $LIMPET_LEDGER)")
+    ledger_cmd.add_argument("--tail", type=_positive_int, default=None,
+                            metavar="N", help="only the last N rows")
+    ledger_cmd.add_argument("--model", default=None, metavar="MODEL",
+                            help="only rows for this model")
+    ledger_cmd.add_argument("--event", default=None, metavar="EVENT",
+                            help="only rows of this event kind "
+                                 "(run / compile / degradation / ...)")
+    ledger_fmt = ledger_cmd.add_mutually_exclusive_group()
+    ledger_fmt.add_argument("--json", action="store_true",
+                            help="raw rows as JSON lines")
+    ledger_fmt.add_argument("--summary", action="store_true",
+                            help="per-model rollup (events, "
+                                 "dispositions, tiers, best rates)")
+    ledger_cmd.set_defaults(func=lambda args: cmd_ledger(
+        args.path, args.tail, args.model, args.event, args.json,
+        args.summary))
+
+    flight_cmd = sub.add_parser(
+        "flight", help="inspect crash flight-recorder dumps")
+    flight_cmd.add_argument("action", nargs="?", default="show",
+                            choices=("show", "list"),
+                            help="'show' the latest dump (default) or "
+                                 "'list' all dumps")
+    flight_cmd.add_argument("--dir", default=None, metavar="DIR",
+                            help="dump directory (default: "
+                                 "$LIMPET_FLIGHT_DIR or "
+                                 "~/.cache/limpet-repro/flight)")
+    flight_cmd.add_argument("--last", type=_positive_int, default=40,
+                            metavar="N",
+                            help="events shown from the end of the "
+                                 "ring (default 40)")
+    flight_cmd.add_argument("--json", action="store_true",
+                            help="raw dump payload as JSON")
+    flight_cmd.set_defaults(func=lambda args: cmd_flight(
+        args.action, args.dir, args.last, args.json))
     return parser
 
 
@@ -557,7 +640,13 @@ def cmd_figure(which: str) -> int:
 def cmd_perf(model: Optional[str], cells: Optional[int],
              steps: Optional[int], dt: Optional[float], threads: int,
              runs: int, json_path: Optional[str], check: bool,
-             width: Optional[int] = None) -> int:
+             width: Optional[int] = None,
+             baseline: Optional[str] = None, tolerance: float = 0.15,
+             repeats: int = 2,
+             slowdown: Optional[float] = None) -> int:
+    if baseline is not None:
+        return _perf_gate(baseline, tolerance, repeats, slowdown,
+                          runs if runs != 5 else None, json_path)
     from .bench.perf import (CANONICAL_CELLS, CANONICAL_DT,
                              CANONICAL_MODEL, CANONICAL_STEPS,
                              CANONICAL_WIDTH, check_report, perf_report,
@@ -581,6 +670,43 @@ def cmd_perf(model: Optional[str], cells: Optional[int],
             return EXIT_FAILURE
         print("checks passed: fused >= unfused, cache hit sped up "
               "construction")
+    return EXIT_OK
+
+
+def _perf_gate(baseline_path: str, tolerance: float, repeats: int,
+               slowdown: Optional[float],
+               runs: Optional[int], json_path: Optional[str]) -> int:
+    """``perf --baseline``: the regression gate (exit 1 on regression)."""
+    import json as _json
+
+    from .bench.regress import format_gate_table, perf_gate
+    if not os.path.isfile(baseline_path):
+        print(f"perf: baseline {baseline_path!r} not found",
+              file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        rows, failures, current = perf_gate(
+            baseline_path, tolerance=tolerance, slowdown=slowdown,
+            repeats=repeats, runs=runs)
+    except ValueError as exc:        # unsupported benchmark schema
+        print(f"perf: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(format_gate_table(rows, tolerance,
+                            os.path.basename(baseline_path)))
+    if json_path:
+        with open(json_path, "w") as fh:
+            _json.dump(current, fh, indent=2)
+        print(f"current measurements written to {json_path}")
+    for failure in failures:
+        print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+    if failures:
+        return EXIT_FAILURE
+    missing = [r.name for r in rows if r.status == "missing"]
+    if missing:
+        print("perf: metrics missing from the current run: "
+              + ", ".join(missing), file=sys.stderr)
+        return EXIT_FAILURE
+    print("perf gate passed")
     return EXIT_OK
 
 
@@ -816,10 +942,27 @@ def cmd_cache_stats(cache_dir: Optional[str], clear: bool) -> int:
     return EXIT_OK
 
 
-def cmd_trace(model_name: str, backend: str, width: int, cells: int,
-              steps: int, dt: float, out: Optional[str],
-              profile: bool) -> int:
+def cmd_trace(model_name: Optional[str], backend: str, width: int,
+              cells: int, steps: int, dt: float, out: Optional[str],
+              profile: bool, workers: int = 0,
+              merge: Optional[str] = None) -> int:
+    import glob as _glob
+
     from .obs import trace as _trace
+    if merge is not None:
+        paths = sorted(_glob.glob(os.path.join(merge, "trace-*.json")))
+        if not paths:
+            print(f"trace: no trace-*.json files under {merge!r}",
+                  file=sys.stderr)
+            return EXIT_FAILURE
+        path = out or os.path.join(merge, "trace-merged.json")
+        _trace.merge_files(paths, out=path)
+        print(f"merged {len(paths)} trace file(s) into {path}")
+        return EXIT_OK
+    if model_name is None:
+        print("trace: a MODEL is required unless --merge is given",
+              file=sys.stderr)
+        return EXIT_USAGE
     from .runtime import KernelRunner
     # the model registry caches parsed models; re-parse so the trace
     # captures the parse/frontend spans too
@@ -829,13 +972,29 @@ def cmd_trace(model_name: str, backend: str, width: int, cells: int,
     try:
         model = load_model(model_name)
         generated = generate_variant(model, backend, width)
-        runner = KernelRunner(generated, profile=profile)
-        state = runner.make_state(cells)
-        runner.run(state, steps, dt)
+        if workers:
+            # supervised tier: forked workers join the trace via the
+            # injected TraceContext and stream their spans back over
+            # the reply pipes; the merged file has one lane per pid
+            from .runtime import SupervisedRunner, multiprocess_supported
+            if not multiprocess_supported():
+                print("trace: --workers needs the fork start method "
+                      "(unavailable on this platform)", file=sys.stderr)
+                return EXIT_FAILURE
+            runner = SupervisedRunner(generated, n_workers=workers)
+            try:
+                state = runner.make_state(cells)
+                runner.run(state, steps, dt)
+            finally:
+                runner.close()
+        else:
+            runner = KernelRunner(generated, profile=profile)
+            state = runner.make_state(cells)
+            runner.run(state, steps, dt)
     finally:
         _trace.deactivate(previous)
     print(tracer.summary_tree())
-    if profile:
+    if profile and not workers:
         print()
         print(runner.profile_report(invocations=steps).hot_table())
     path = tracer.write(out or f"trace_{model_name}.json")
@@ -882,6 +1041,92 @@ def cmd_metrics(prom: bool) -> int:
         sys.stdout.write(_metrics.to_prometheus())
     else:
         print(_json.dumps(_metrics.snapshot(), indent=2))
+    return EXIT_OK
+
+
+def cmd_ledger(path: Optional[str], tail: Optional[int],
+               model: Optional[str], event: Optional[str],
+               as_json: bool, summary: bool) -> int:
+    import json as _json
+
+    from .obs import ledger as _ledger
+    path = path or os.environ.get(_ledger.LEDGER_ENV)
+    if not path:
+        print("ledger: no ledger file (--path or $LIMPET_LEDGER)",
+              file=sys.stderr)
+        return EXIT_USAGE
+    book = _ledger.RunLedger(path)
+    rows = book.read(tail=tail, model=model, event=event)
+    if not rows:
+        print(f"ledger: no rows in {path}"
+              + (f" matching model={model!r}" if model else "")
+              + (f" event={event!r}" if event else ""),
+              file=sys.stderr)
+        return EXIT_FAILURE
+    if summary:
+        per_model = _ledger.summarize(rows)
+        print(f"{'model':<24} {'rows':>5}  {'dispositions':<28} "
+              f"{'tiers':<22} {'best steps/s':>12}")
+        for name in sorted(per_model):
+            info = per_model[name]
+            disp = ", ".join(f"{k}:{v}" for k, v in
+                             sorted(info["dispositions"].items()))
+            tiers = ",".join(info["tiers"]) or "-"
+            best = info.get("best_steps_per_second")
+            best_s = f"{best:,.0f}" if best else "-"
+            print(f"{name:<24} {info['rows']:>5}  {disp:<28} "
+                  f"{tiers:<22} {best_s:>12}")
+        return EXIT_OK
+    if as_json:
+        for row in rows:
+            print(_json.dumps(row, sort_keys=True))
+        return EXIT_OK
+    print(f"{'when':<20} {'event':<12} {'model':<22} {'tier':<10} "
+          f"{'cache':<9} {'disposition':<16} {'steps/s':>10}")
+    import time as _time
+    for row in rows:
+        when = _time.strftime("%Y-%m-%d %H:%M:%S",
+                              _time.localtime(row.get("ts_unix", 0)))
+        sps = row.get("steps_per_second")
+        print(f"{when:<20} {row.get('event', '?'):<12} "
+              f"{row.get('model', '-'):<22} {row.get('tier', '-'):<10} "
+              f"{row.get('cache', '-'):<9} "
+              f"{row.get('disposition', '-'):<16} "
+              f"{sps and f'{sps:,.0f}' or '-':>10}")
+    print(f"{len(rows)} row(s) from {path}")
+    return EXIT_OK
+
+
+def cmd_flight(action: str, directory: Optional[str], last: int,
+               as_json: bool) -> int:
+    import json as _json
+
+    from .obs import flight as _flight
+    if action == "list":
+        dumps = _flight.list_dumps(directory)
+        if not dumps:
+            print("flight: no dumps recorded", file=sys.stderr)
+            return EXIT_FAILURE
+        for path in dumps:
+            payload = _flight.load_dump(path)
+            reason = payload.get("reason", "?") if payload else "corrupt"
+            n = len(payload.get("events", [])) if payload else 0
+            print(f"{path}  reason={reason} events={n}")
+        return EXIT_OK
+    latest = _flight.latest_dump(directory)
+    if latest is None:
+        print("flight: no dumps recorded", file=sys.stderr)
+        return EXIT_FAILURE
+    payload = _flight.load_dump(latest)
+    if payload is None:
+        print(f"flight: {latest} is corrupt or not a flight dump",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    if as_json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return EXIT_OK
+    print(f"flight dump: {latest}")
+    print(_flight.format_dump(payload, last=last))
     return EXIT_OK
 
 
@@ -1135,6 +1380,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         # handler before KeyboardInterrupt was raised
         print("interrupted", file=sys.stderr)
         return EXIT_INTERRUPTED
+    except Exception as err:
+        # land the last seconds of telemetry next to the crash
+        # ('limpet-bench flight show' replays them), then re-raise for
+        # the normal traceback
+        from .obs import flight as _flight
+        _flight.dump("unhandled_exception",
+                     extra={"command": args.command,
+                            "error": f"{type(err).__name__}: {err}"})
+        raise
     except BrokenPipeError:
         # downstream pager/head closed the pipe; not an error
         devnull = os.open(os.devnull, os.O_WRONLY)

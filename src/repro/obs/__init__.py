@@ -15,15 +15,33 @@ The unified measurement layer of the reproduction (DESIGN.md §8):
   profile-mode lowering, feeding hot tables, the runtime cost model
   and the roofline.
 
-Only :mod:`~repro.obs.trace` and :mod:`~repro.obs.metrics` are
-imported eagerly (they depend on nothing inside :mod:`repro`, so any
-subsystem may import them without cycles); ``passes`` and ``profiler``
-are reached as submodules.
+The fleet-telemetry additions (DESIGN.md §13):
+
+* :mod:`repro.obs.flight` — the crash flight recorder: a bounded ring
+  of recent spans/metric deltas/worker events, dumped as a black-box
+  JSON file on worker death, degradation, quarantine, or unhandled
+  exception (``limpet-bench flight``);
+* :mod:`repro.obs.ledger` — the append-only run ledger at
+  ``$LIMPET_LEDGER`` recording every compile/run/degradation
+  (``limpet-bench ledger``).
+
+Only modules that depend on nothing inside :mod:`repro` beyond
+``obs`` itself are imported eagerly (any subsystem may import them
+without cycles): ``trace``, ``metrics``, and ``flight`` (whose
+listeners are installed here, so the black box records from process
+start).  ``ledger`` defers its one runtime dependency (the advisory
+file lock) to call time; ``passes`` and ``profiler`` are reached as
+submodules.
 """
 
 from . import metrics, trace
+from . import flight, ledger
 from .metrics import MetricsRegistry, default_registry
-from .trace import Tracer, activate, active_tracer, deactivate
+from .trace import (TraceContext, Tracer, activate, active_tracer,
+                    deactivate, merge_files)
 
-__all__ = ["metrics", "trace", "MetricsRegistry", "default_registry",
-           "Tracer", "activate", "active_tracer", "deactivate"]
+flight.install()
+
+__all__ = ["metrics", "trace", "flight", "ledger", "MetricsRegistry",
+           "default_registry", "TraceContext", "Tracer", "activate",
+           "active_tracer", "deactivate", "merge_files"]

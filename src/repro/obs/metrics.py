@@ -58,11 +58,12 @@ never inside the per-step hot loop.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "default_registry", "counter", "gauge", "histogram",
-           "snapshot", "to_prometheus", "reset"]
+__all__ = ["Counter", "LabeledCounter", "Gauge", "Histogram",
+           "MetricsRegistry", "default_registry", "counter", "gauge",
+           "histogram", "snapshot", "to_prometheus", "reset",
+           "add_listener", "remove_listener"]
 
 #: default histogram buckets: wall-time seconds, log-spaced
 DEFAULT_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
@@ -85,6 +86,8 @@ class Counter:
             raise ValueError(f"counter {self.name}: negative increment")
         with self._lock:
             self._value += amount
+        if _LISTENERS:
+            _notify(self.name, amount, None)
 
     @property
     def value(self) -> int:
@@ -95,6 +98,90 @@ class Counter:
 
     def _prometheus(self) -> List[str]:
         return [f"{self.name} {self._value}"]
+
+
+class _LabeledChild:
+    """One labeled series of a :class:`LabeledCounter`."""
+
+    __slots__ = ("_parent", "_labels", "_key")
+
+    def __init__(self, parent: "LabeledCounter",
+                 labels: Dict[str, str], key: str):
+        self._parent = parent
+        self._labels = labels
+        self._key = key
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self._parent.name}: negative increment")
+        with self._parent._lock:
+            self._parent._series[self._key] = \
+                self._parent._series.get(self._key, 0) + amount
+        if _LISTENERS:
+            _notify(self._parent.name, amount, self._labels)
+
+    @property
+    def value(self) -> int:
+        return self._parent._series.get(self._key, 0)
+
+
+class LabeledCounter:
+    """A counter fanned out over label sets (Prometheus-style).
+
+    ``counter("worker_failures_total", labelnames=("shard", "reason"))``
+    returns one of these; ``.labels(shard="2", reason="stalled").inc()``
+    bumps the matching series.  ``value`` sums every series, so code
+    that only knows the unlabeled convention still reads a total.
+    """
+
+    kind = "counter"
+    __slots__ = ("name", "help", "labelnames", "_series", "_lock")
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._series: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **labels: Any) -> _LabeledChild:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"counter {self.name!r} takes labels "
+                f"{self.labelnames}, got {tuple(sorted(labels))}")
+        clean = {k: str(labels[k]) for k in self.labelnames}
+        key = ",".join(f'{k}="{_escape(v)}"' for k, v in clean.items())
+        return _LabeledChild(self, clean, key)
+
+    def inc(self, amount: int = 1, **labels: Any) -> None:
+        self.labels(**labels).inc(amount)
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return sum(self._series.values())
+
+    def series(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._series)
+
+    def _snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            series = dict(self._series)
+        return {"type": "counter", "help": self.help,
+                "labels": list(self.labelnames),
+                "value": sum(series.values()), "series": series}
+
+    def _prometheus(self) -> List[str]:
+        with self._lock:
+            series = sorted(self._series.items())
+        return [f"{self.name}{{{key}}} {count}" for key, count in series]
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
 
 
 class Gauge:
@@ -209,8 +296,21 @@ class MetricsRegistry:
                     f"{metric.kind}, requested {cls.kind}")
             return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(name, Counter, help)
+    def counter(self, name: str, help: str = "",
+                labelnames: Optional[Sequence[str]] = None):
+        """A plain :class:`Counter`, or a :class:`LabeledCounter` when
+        ``labelnames`` is given.  Requesting the same name with a
+        different shape (labeled vs plain, or different label names)
+        is a :class:`TypeError` — silent aliasing would split counts."""
+        if labelnames is None:
+            return self._get_or_create(name, Counter, help)
+        metric = self._get_or_create(name, LabeledCounter, help,
+                                     labelnames=labelnames)
+        if metric.labelnames != tuple(labelnames):
+            raise TypeError(
+                f"metric {name!r} already registered with labels "
+                f"{metric.labelnames}, requested {tuple(labelnames)}")
+        return metric
 
     def gauge(self, name: str, help: str = "") -> Gauge:
         return self._get_or_create(name, Gauge, help)
@@ -264,8 +364,9 @@ def default_registry() -> MetricsRegistry:
     return _DEFAULT
 
 
-def counter(name: str, help: str = "") -> Counter:
-    return _DEFAULT.counter(name, help)
+def counter(name: str, help: str = "",
+            labelnames: Optional[Sequence[str]] = None):
+    return _DEFAULT.counter(name, help, labelnames=labelnames)
 
 
 def gauge(name: str, help: str = "") -> Gauge:
@@ -287,3 +388,36 @@ def to_prometheus() -> str:
 
 def reset() -> None:
     _DEFAULT.reset()
+
+
+# ---------------------------------------------------------------------------
+# Increment listeners (the flight recorder's tap)
+# ---------------------------------------------------------------------------
+
+#: callables invoked as fn(name, amount, labels_or_None) after every
+#: counter increment; empty unless the flight recorder installs one,
+#: so the usual cost is a single truthiness check per increment (and
+#: increments only ever sit on cold paths — see the module docstring)
+_LISTENERS: List[Callable[[str, int, Optional[Dict[str, str]]], None]] = []
+
+
+def add_listener(fn: Callable[[str, int, Optional[Dict[str, str]]],
+                              None]) -> None:
+    if fn not in _LISTENERS:
+        _LISTENERS.append(fn)
+
+
+def remove_listener(fn) -> None:
+    try:
+        _LISTENERS.remove(fn)
+    except ValueError:
+        pass
+
+
+def _notify(name: str, amount: int,
+            labels: Optional[Dict[str, str]]) -> None:
+    for fn in list(_LISTENERS):
+        try:
+            fn(name, amount, labels)
+        except Exception:               # pragma: no cover - best effort
+            pass

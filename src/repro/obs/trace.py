@@ -17,6 +17,25 @@ instrumentation site calls the module-level :func:`span`, which is a
 single ``is None`` check returning a shared no-op context manager when
 no tracer is active — the disabled overhead is one function call per
 *stage* (never per step), far under the <2% budget.
+
+Traces also cross process boundaries (DESIGN.md §13):
+
+* a serializable :class:`TraceContext` (trace id + parent span id +
+  the parent's clock origins) travels into forked workers and spawned
+  child processes (``$LIMPET_TRACE_CONTEXT``);
+* a worker :class:`Tracer` built from a context adopts the parent's
+  trace id *and* timebase — ``time.perf_counter`` is CLOCK_MONOTONIC
+  on Linux, shared across ``fork``, so worker timestamps land on the
+  parent's timeline with no alignment step;
+* workers convert finished spans with :meth:`Tracer.drain_events` and
+  stream them back (the supervised tier piggybacks them on its pipe
+  replies); the parent stores them via
+  :meth:`Tracer.add_foreign_events` and :meth:`Tracer.to_chrome`
+  emits one merged trace with correct pid/tid lanes;
+* independently written trace files (e.g. ``$LIMPET_TRACE`` dumps from
+  ``runner_from_store`` child processes) are stitched by
+  :func:`merge_files`, wall-clock aligned via each file's recorded
+  ``trace_start_unix_s``.
 """
 
 from __future__ import annotations
@@ -26,10 +45,75 @@ import os
 import pathlib
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
-__all__ = ["Span", "Tracer", "activate", "deactivate", "active_tracer",
-           "span", "instant", "annotate"]
+__all__ = ["Span", "TraceContext", "Tracer", "activate", "deactivate",
+           "active_tracer", "span", "instant", "annotate", "merge_files",
+           "add_listener", "remove_listener"]
+
+#: environment variable carrying a JSON TraceContext into child processes
+TRACE_CONTEXT_ENV = "LIMPET_TRACE_CONTEXT"
+
+
+class TraceContext:
+    """The serializable identity a trace hands to another process.
+
+    Carries the trace id, the span id the child's spans logically nest
+    under, and the parent's clock origins.  A fork-child tracer built
+    from a context shares the parent's CLOCK_MONOTONIC epoch, so its
+    events need no timestamp shifting; independently started processes
+    are aligned by :func:`merge_files` via the wall-clock origin.
+    """
+
+    __slots__ = ("trace_id", "parent_span_id", "t0_monotonic", "t0_wall")
+
+    def __init__(self, trace_id: str, parent_span_id: int = 0,
+                 t0_monotonic: float = 0.0, t0_wall: float = 0.0):
+        self.trace_id = trace_id
+        self.parent_span_id = parent_span_id
+        self.t0_monotonic = t0_monotonic
+        self.t0_wall = t0_wall
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"trace_id": self.trace_id,
+                "parent_span_id": self.parent_span_id,
+                "t0_monotonic": self.t0_monotonic,
+                "t0_wall": self.t0_wall}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceContext":
+        return cls(trace_id=str(data["trace_id"]),
+                   parent_span_id=int(data.get("parent_span_id", 0)),
+                   t0_monotonic=float(data.get("t0_monotonic", 0.0)),
+                   t0_wall=float(data.get("t0_wall", 0.0)))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TraceContext":
+        return cls.from_dict(json.loads(text))
+
+    def to_env(self, env: Dict[str, str]) -> Dict[str, str]:
+        """Install this context into ``env`` (for child processes)."""
+        env[TRACE_CONTEXT_ENV] = self.to_json()
+        return env
+
+    @classmethod
+    def from_env(cls, env=None) -> Optional["TraceContext"]:
+        """The context from ``$LIMPET_TRACE_CONTEXT``, or None."""
+        text = (env if env is not None else os.environ).get(
+            TRACE_CONTEXT_ENV)
+        if not text:
+            return None
+        try:
+            return cls.from_json(text)
+        except (ValueError, KeyError, TypeError):
+            return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceContext({self.trace_id!r}, "
+                f"parent={self.parent_span_id})")
 
 
 class Span:
@@ -37,7 +121,7 @@ class Span:
     manager when produced by :meth:`Tracer.span`)."""
 
     __slots__ = ("name", "category", "args", "start", "end", "tid",
-                 "children", "kind", "_tracer")
+                 "children", "kind", "sid", "_tracer")
 
     def __init__(self, name: str, category: str = "",
                  args: Optional[Dict[str, Any]] = None,
@@ -50,6 +134,7 @@ class Span:
         self.tid: int = threading.get_ident()
         self.children: List["Span"] = []
         self.kind = kind                    # "span" | "instant"
+        self.sid: int = 0                   # per-tracer span id
         self._tracer = tracer
 
     @property
@@ -100,17 +185,37 @@ class Tracer:
     keeps its own open-span stack); finished roots from every thread
     are merged into :attr:`roots` under a lock, so sharded runs trace
     safely.
+
+    ``context`` adopts another process's :class:`TraceContext`: the
+    trace id and both clock origins come from the parent, so a forked
+    worker's events are directly mergeable into the parent's timeline.
+    ``process_name`` labels this process's pid lane in merged traces.
     """
 
-    def __init__(self):
-        self._t0 = time.perf_counter()
-        self._wall0 = time.time()
+    def __init__(self, context: Optional[TraceContext] = None,
+                 process_name: Optional[str] = None):
+        if context is not None:
+            self._t0 = context.t0_monotonic
+            self._wall0 = context.t0_wall
+            self.trace_id = context.trace_id
+            self.parent_span_id = context.parent_span_id
+        else:
+            self._t0 = time.perf_counter()
+            self._wall0 = time.time()
+            self.trace_id = os.urandom(8).hex()
+            self.parent_span_id = 0
+        self.process_name = process_name
         self.roots: List[Span] = []
         self._stacks = threading.local()
         self._lock = threading.Lock()
         # every thread's open-span stack, so flush() can force-end
         # spans left open by an interrupt on any thread
         self._all_stacks: Dict[int, List[Span]] = {}
+        # pre-built Chrome events received from other processes
+        # (worker span streams), merged verbatim into to_chrome()
+        self._foreign: List[Dict[str, Any]] = []
+        self._next_sid = 0
+        self._meta_sent = False
 
     # -- span lifecycle -----------------------------------------------------------
 
@@ -168,6 +273,9 @@ class Tracer:
 
     def _begin(self, span_: Span) -> None:
         span_.tid = threading.get_ident()
+        with self._lock:
+            self._next_sid += 1
+            span_.sid = self._next_sid
         span_.start = time.perf_counter()
         self._stack().append(span_)
 
@@ -184,6 +292,10 @@ class Tracer:
         else:
             with self._lock:
                 self.roots.append(span_)
+        if _LISTENERS:
+            _notify("span", span_.name,
+                    {"dur_ms": round(span_.duration * 1e3, 3),
+                     "data": _jsonable(span_.args)})
 
     def instant(self, name: str, **args: Any) -> None:
         """A zero-duration marker attached to the current span."""
@@ -195,10 +307,71 @@ class Tracer:
         else:
             with self._lock:
                 self.roots.append(mark)
+        if _LISTENERS:
+            _notify("instant", name, {"data": _jsonable(args)})
 
     def current_span(self) -> Optional[Span]:
         stack = self._stack()
         return stack[-1] if stack else None
+
+    # -- cross-process propagation -------------------------------------------------
+
+    def context(self) -> TraceContext:
+        """The :class:`TraceContext` to hand a child process.
+
+        The parent span id is the innermost open span on the calling
+        thread (falling back to this tracer's own inherited parent), so
+        worker spans logically nest under whatever was running when the
+        worker was spawned.
+        """
+        current = self.current_span()
+        parent_sid = current.sid if current is not None \
+            else self.parent_span_id
+        return TraceContext(trace_id=self.trace_id,
+                            parent_span_id=parent_sid,
+                            t0_monotonic=self._t0, t0_wall=self._wall0)
+
+    def add_foreign_events(self,
+                           events: Sequence[Dict[str, Any]]) -> None:
+        """Store pre-built Chrome events from another process.
+
+        The events must already be on this tracer's timebase (true for
+        any tracer built from :meth:`context` — fork children share the
+        monotonic clock).  They are emitted verbatim by
+        :meth:`to_chrome`, keeping the sender's pid/tid lanes.
+        """
+        if not events:
+            return
+        with self._lock:
+            self._foreign.extend(events)
+
+    def foreign_events(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._foreign)
+
+    def drain_events(self) -> List[Dict[str, Any]]:
+        """Pop every *finished* root span as Chrome events (streaming).
+
+        The worker side of span streaming: finished roots are converted
+        and removed, so repeated calls send each span exactly once.
+        The first drain also emits this process's ``process_name``
+        metadata event so merged traces label the pid lane.  Open spans
+        are untouched — they drain once they finish.
+        """
+        with self._lock:
+            roots, self.roots = self.roots, []
+        events = self._meta_events()
+        for root in roots:
+            self._emit(root, events)
+        return events
+
+    def _meta_events(self) -> List[Dict[str, Any]]:
+        if self._meta_sent:
+            return []
+        self._meta_sent = True
+        name = self.process_name or f"limpet pid {os.getpid()}"
+        return [{"ph": "M", "name": "process_name", "pid": os.getpid(),
+                 "tid": 0, "args": {"name": name}}]
 
     # -- export -------------------------------------------------------------------
 
@@ -212,31 +385,50 @@ class Tracer:
         for root in roots:
             yield from visit(root)
 
-    def to_chrome(self) -> Dict[str, Any]:
-        """The Chrome trace-event JSON object (``traceEvents`` wrapper)."""
+    def _emit(self, span_: Span, out: List[Dict[str, Any]]) -> None:
+        """Append ``span_`` and its subtree as Chrome events."""
         pid = os.getpid()
-        events = []
-        for span_ in self._walk():
-            ts = round((span_.start - self._t0) * 1e6, 3)
-            event: Dict[str, Any] = {
-                "name": span_.name,
-                "cat": span_.category or "repro",
-                "pid": pid,
-                "tid": span_.tid,
-                "ts": ts,
-            }
-            if span_.kind == "instant":
-                event["ph"] = "i"
-                event["s"] = "t"
-            else:
-                event["ph"] = "X"
-                event["dur"] = round(span_.duration * 1e6, 3)
-            if span_.args:
-                event["args"] = _jsonable(span_.args)
-            events.append(event)
+        ts = round((span_.start - self._t0) * 1e6, 3)
+        event: Dict[str, Any] = {
+            "name": span_.name,
+            "cat": span_.category or "repro",
+            "pid": pid,
+            "tid": span_.tid,
+            "ts": ts,
+        }
+        if span_.kind == "instant":
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = round(span_.duration * 1e6, 3)
+        if span_.args:
+            event["args"] = _jsonable(span_.args)
+        out.append(event)
+        for child in span_.children:
+            self._emit(child, out)
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The Chrome trace-event JSON object (``traceEvents`` wrapper).
+
+        Includes this process's span tree, its ``process_name``
+        metadata event, and every foreign event streamed in from other
+        processes — one merged multi-pid trace.
+        """
+        name = self.process_name or f"limpet pid {os.getpid()}"
+        events: List[Dict[str, Any]] = [
+            {"ph": "M", "name": "process_name", "pid": os.getpid(),
+             "tid": 0, "args": {"name": name}}]
+        with self._lock:
+            roots = list(self.roots)
+        for root in roots:
+            self._emit(root, events)
+        with self._lock:
+            events.extend(self._foreign)
         return {"traceEvents": events,
                 "displayTimeUnit": "ms",
                 "otherData": {"tool": "limpet-bench",
+                              "trace_id": self.trace_id,
                               "trace_start_unix_s": round(self._wall0, 3)}}
 
     def write(self, path) -> pathlib.Path:
@@ -246,6 +438,9 @@ class Tracer:
             path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(self.to_chrome()))
         return path
+
+    #: classmethod alias so callers can say ``Tracer.merge_files(...)``
+    merge_files: "staticmethod"
 
     def summary_tree(self) -> str:
         """The plain-text span tree (durations + compact args)."""
@@ -265,9 +460,64 @@ class Tracer:
 
         with self._lock:
             roots = list(self.roots)
+            foreign = list(self._foreign)
         for root in roots:
             visit(root, 0)
+        if foreign:
+            pids = {e.get("pid") for e in foreign if e.get("ph") != "M"}
+            spans = sum(1 for e in foreign if e.get("ph") == "X")
+            lines.append(f"[+{spans} foreign span(s) from "
+                         f"{len(pids)} worker process(es)]")
         return "\n".join(lines)
+
+
+def merge_files(paths: Sequence[Union[str, pathlib.Path]],
+                out: Optional[Union[str, pathlib.Path]] = None
+                ) -> Dict[str, Any]:
+    """Stitch independently written Chrome trace files into one.
+
+    Each file's events are shifted onto a common timeline using the
+    ``trace_start_unix_s`` wall-clock origin the tracer records in
+    ``otherData`` (files written by context-sharing tracers have equal
+    origins, so their events pass through unshifted).  Returns the
+    merged trace object; with ``out`` it is also written there.
+    """
+    traces: List[Dict[str, Any]] = []
+    for path in paths:
+        with open(path) as fh:
+            traces.append(json.load(fh))
+    if not traces:
+        raise ValueError("merge_files: no trace files given")
+    starts = [float(t.get("otherData", {}).get("trace_start_unix_s", 0.0))
+              for t in traces]
+    base = min(starts)
+    events: List[Dict[str, Any]] = []
+    for trace_obj, start in zip(traces, starts):
+        offset_us = (start - base) * 1e6
+        for event in trace_obj.get("traceEvents", []):
+            if offset_us and event.get("ph") != "M" and "ts" in event:
+                event = dict(event)
+                event["ts"] = round(event["ts"] + offset_us, 3)
+            events.append(event)
+    trace_ids = sorted({t.get("otherData", {}).get("trace_id")
+                        for t in traces} - {None})
+    merged = {"traceEvents": events,
+              "displayTimeUnit": "ms",
+              "otherData": {"tool": "limpet-bench",
+                            "merged_from": len(traces),
+                            "trace_id": trace_ids[0]
+                            if len(trace_ids) == 1 else None,
+                            "trace_ids": trace_ids,
+                            "trace_start_unix_s": round(base, 3)}}
+    if out is not None:
+        out = pathlib.Path(out)
+        if out.parent != pathlib.Path("."):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(merged))
+    return merged
+
+
+Tracer.merge_files = staticmethod(merge_files)
 
 
 def _jsonable(args: Dict[str, Any]) -> Dict[str, Any]:
@@ -296,6 +546,36 @@ def _format_args(args: Dict[str, Any]) -> str:
         elif isinstance(value, (str, int, bool)):
             parts.append(f"{key}={value}")
     return " ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Span-event listeners (the flight recorder's tap)
+# ---------------------------------------------------------------------------
+
+#: callables invoked as fn(kind, name, payload) on every finished span
+#: and every instant; kept empty unless something (the flight recorder)
+#: registers, so the common path pays one truthiness check
+_LISTENERS: List[Callable[[str, str, Dict[str, Any]], None]] = []
+
+
+def add_listener(fn: Callable[[str, str, Dict[str, Any]], None]) -> None:
+    if fn not in _LISTENERS:
+        _LISTENERS.append(fn)
+
+
+def remove_listener(fn) -> None:
+    try:
+        _LISTENERS.remove(fn)
+    except ValueError:
+        pass
+
+
+def _notify(kind: str, name: str, payload: Dict[str, Any]) -> None:
+    for fn in list(_LISTENERS):
+        try:
+            fn(kind, name, payload)
+        except Exception:               # pragma: no cover - best effort
+            pass
 
 
 # ---------------------------------------------------------------------------

@@ -344,6 +344,15 @@ class PopulationRunner:
                               record_vm=False, watchdog=watchdog,
                               step_hook=hook,
                               time_breakdown=time_breakdown)
+        from ..obs import ledger as _ledger
+        _ledger.record_event(
+            "population_run", model=self.model.name,
+            population=self.spec.fingerprint(),
+            instances=self.spec.n_instances, cells_per_instance=c,
+            tier=getattr(runner, "execution_tier", "single"),
+            n_steps=n_steps, dt=dt,
+            steps_per_second=flat.steps_per_second,
+            disposition="ok")
         return PopulationRunResult(flat, self.spec, c, vm_traces=traces,
                                    compile_reused=runner.cache_hit)
 

@@ -22,6 +22,7 @@ from ..codegen import (GeneratedKernel, UnsupportedModelError,
                        generate_limpet_mlir)
 from ..frontend.model import IonicModel
 from ..models import load_model
+from ..obs import ledger as _ledger
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from ..runtime import KernelRunner
@@ -137,6 +138,11 @@ def compile_resilient(model: Union[str, IonicModel],
                              f"bundle via {backend!r} (zero compile)"),
                     data={"tier": tier, "model": model.name,
                           "artifact": True})))
+                _ledger.record_event(
+                    "compile", model=model.name, backend=backend,
+                    cache="artifact", tier_index=tier,
+                    key=runner.cache_key,
+                    disposition="fell_back" if tier else "ok")
                 return ResilientKernel(
                     model_name=model.name, backend=backend,
                     requested=chain[0], kernel=runner.generated,
@@ -186,10 +192,21 @@ def compile_resilient(model: Union[str, IonicModel],
             data={"tier": tier, "model": model.name,
                   "quarantined": sorted(pipeline.quarantined)
                   if pipeline else []})))
+        _ledger.record_event(
+            "compile", model=model.name, backend=backend,
+            cache=runner._cache_outcome(), tier_index=tier,
+            key=runner.cache_key,
+            compile_seconds=runner.compile_seconds,
+            quarantined=sorted(pipeline.quarantined)
+            if pipeline and pipeline.quarantined else None,
+            disposition="fell_back" if tier else "ok")
         return ResilientKernel(model_name=model.name, backend=backend,
                                requested=chain[0], kernel=kernel,
                                runner=runner, diagnostics=diagnostics,
                                sandbox=pipeline)
+    _ledger.record_event("compile", model=model.name,
+                         disposition="failed",
+                         tiers_tried=len(chain))
     raise ResilientCompileError(
         f"{model.name}: every backend tier failed "
         f"({', '.join(chain)}); see diagnostics", diagnostics)

@@ -416,8 +416,57 @@ class KernelRunner:
         with _trace.span("run", model=self.model.name,
                          n_cells=state.n_cells, n_steps=n_steps, dt=dt,
                          guarded=watchdog is not None):
-            return self._run(state, n_steps, dt, stimulus, record_vm,
-                             watchdog, step_hook, time_breakdown)
+            try:
+                result = self._run(state, n_steps, dt, stimulus,
+                                   record_vm, watchdog, step_hook,
+                                   time_breakdown)
+            except Exception as err:
+                self._ledger_run_row(state, n_steps, dt, result=None,
+                                     error=err)
+                raise
+        self._ledger_run_row(state, n_steps, dt, result=result)
+        return result
+
+    @property
+    def execution_tier(self) -> str:
+        """Which tier of the execution ladder this runner occupies
+        (ledger-facing; subclasses override)."""
+        return "single"
+
+    def _cache_outcome(self) -> str:
+        """How this runner's kernel was obtained: ``artifact`` (AOT
+        bundle), ``hit``/``miss`` (persistent kernel cache), or ``off``
+        (no cache configured)."""
+        if self.artifact_hit:
+            return "artifact"
+        if self.cache is None:
+            return "off"
+        return "hit" if self.cache_hit else "miss"
+
+    def _ledger_run_row(self, state: SimulationState, n_steps: int,
+                        dt: float, result, error=None) -> None:
+        """One ``run`` row in the env-gated ledger (no-op when off)."""
+        from ..obs import ledger as _ledger_mod
+        if error is not None:
+            disposition = f"error:{type(error).__name__}"
+            sps = ttfs = None
+        else:
+            health = result.health
+            if health is not None and health.aborted:
+                disposition = "aborted"
+            elif health is not None and not health.ok:
+                disposition = "diverged"
+            else:
+                disposition = "ok"
+            sps = result.steps_per_second
+            ttfs = result.time_to_first_step
+        _ledger_mod.record_event(
+            "run", model=self.model.name, key=self.cache_key,
+            cache=self._cache_outcome(), tier=self.execution_tier,
+            compile_seconds=getattr(self, "compile_seconds", None),
+            time_to_first_step=ttfs, steps_per_second=sps,
+            n_steps=n_steps, n_cells=state.n_cells, dt=dt,
+            population=self.population, disposition=disposition)
 
     def _run(self, state: SimulationState, n_steps: int, dt: float,
              stimulus: Optional[Stimulus], record_vm: bool, watchdog,

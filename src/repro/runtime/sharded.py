@@ -129,6 +129,10 @@ class ShardedRunner(KernelRunner):
         self._pool: Optional[ThreadPoolExecutor] = None
         self._shards: Optional[Tuple[int, List[Tuple[int, int]]]] = None
 
+    @property
+    def execution_tier(self) -> str:
+        return "threads"
+
     # -- pool lifecycle ------------------------------------------------------------
 
     def _ensure_pool(self) -> ThreadPoolExecutor:

@@ -51,6 +51,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..codegen.common import GeneratedKernel
+from ..obs import flight as _flight
+from ..obs import ledger as _ledger
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from .executor import KernelRunner
@@ -80,10 +82,12 @@ class SupervisedExecutionError(RuntimeError):
     or already exhausted.
     """
 
-    def __init__(self, message: str, slot: int = -1, attempts: int = 0):
+    def __init__(self, message: str, slot: int = -1, attempts: int = 0,
+                 step: int = -1):
         super().__init__(message)
         self.slot = slot
         self.attempts = attempts
+        self.step = step
 
 
 @dataclass
@@ -128,16 +132,34 @@ class _WorkerFault:
 def _worker_entry(runner: "SupervisedRunner", state: SimulationState,
                   slot: int, conn, heartbeats: np.ndarray,
                   config: SupervisionConfig,
-                  fault: Optional[_WorkerFault]) -> None:
+                  fault: Optional[_WorkerFault],
+                  trace_ctx: Optional[_trace.TraceContext] = None
+                  ) -> None:
     """Worker main loop (runs in the forked child).
 
     Everything it needs — the compiled kernel, the shm-backed state
     views, its heartbeat slot — arrived via fork, not pickling.  It
     only ever touches its dispatched ``[start, end)`` slice, so
     concurrent workers never alias.
+
+    With a ``trace_ctx`` the worker runs its own :class:`Tracer` under
+    the parent's trace id and timebase (fork shares CLOCK_MONOTONIC),
+    wraps each task in a ``shard_task`` span, and **streams** finished
+    spans back piggybacked on every reply — the parent merges them as
+    foreign events, so a worker killed mid-run has already delivered
+    the spans of every task it completed.
     """
     stop = threading.Event()
     stalled = threading.Event()
+    # drop the fork-inherited parent tracer: worker spans belong to the
+    # worker's own tracer (or nowhere, when tracing is off)
+    if trace_ctx is not None:
+        tracer: Optional[_trace.Tracer] = _trace.Tracer(
+            context=trace_ctx, process_name=f"limpet-worker-{slot}")
+        _trace.activate(tracer)
+    else:
+        tracer = None
+        _trace.deactivate(None)
 
     def beat() -> None:
         while not stop.is_set():
@@ -167,22 +189,45 @@ def _worker_entry(runner: "SupervisedRunner", state: SimulationState,
                 if fault.stall_at_task == tasks_done:
                     stalled.set()       # heartbeat goes quiet...
                     time.sleep(fault.stall_seconds)   # ...and so do we
+            task_span = _trace.span("shard_task", slot=slot, seq=seq,
+                                    start=start, end=end)
             try:
-                args = [start, end, dt, now, state.sv] + externals \
-                    + param_arrays
-                if use_lut:
-                    # deterministic per-quantized-dt rebuild: bitwise
-                    # identical to the parent's tables
-                    args += runner.luts_for(dt)
-                fn(*args)
+                with task_span:
+                    args = [start, end, dt, now, state.sv] + externals \
+                        + param_arrays
+                    if use_lut:
+                        # deterministic per-quantized-dt rebuild: bitwise
+                        # identical to the parent's tables
+                        args += runner.luts_for(dt)
+                    fn(*args)
             except Exception as err:
-                conn.send(("err", seq, type(err).__name__, str(err)))
+                task_span.annotate(error=f"{type(err).__name__}: {err}")
+                events = tracer.drain_events() if tracer else []
+                conn.send(("err", seq, type(err).__name__, str(err),
+                           events))
             else:
-                conn.send(("ok", seq))
+                events = tracer.drain_events() if tracer else []
+                conn.send(("ok", seq, events))
     except (EOFError, OSError, KeyboardInterrupt):
         pass                            # parent went away: just exit
     finally:
         stop.set()
+
+
+def _failure_kind(failure: str) -> str:
+    """Fold a free-text failure reason into a low-cardinality label
+    (labels are metric dimensions: bounded values only)."""
+    if failure.startswith("worker exception"):
+        return "exception"
+    if failure.startswith("worker pipe"):
+        return "pipe_closed"
+    if failure.startswith("worker died"):
+        return "died"
+    if failure.startswith("heartbeat"):
+        return "stalled"
+    if failure.startswith("task deadline"):
+        return "deadline"
+    return "other"
 
 
 #: every live runner, so interpreter exit / signal shutdown can reap
@@ -258,25 +303,44 @@ class SupervisedRunner(ShardedRunner):
         """The execution tier currently in effect."""
         return self._tier
 
+    @property
+    def execution_tier(self) -> str:
+        """Ledger-facing tier name (overrides the static base names)."""
+        return self._tier
+
     # -- the degradation ladder ----------------------------------------------------
 
     def _record_degradation(self, target: str, error: BaseException) -> None:
         from ..resilience.diagnostics import (Diagnostic, Severity,
                                               log_diagnostic)
+        # which shard failed at which step, when supervision knows
+        slot = getattr(error, "slot", None)
+        step = getattr(error, "step", None)
+        attempts = getattr(error, "attempts", None)
         diag = Diagnostic.from_exception(
             stage="run", component="supervised", exc=error,
             severity=Severity.WARNING, with_traceback=False,
-            from_tier=self._tier, to_tier=target, model=self.model.name)
+            from_tier=self._tier, to_tier=target, model=self.model.name,
+            slot=slot, step=step, attempts=attempts)
         diag.message = (f"degrading {self._tier} -> {target}: "
                         f"{diag.message}")
         log_diagnostic(diag)
         self.diagnostics.append(diag)
+        from_tier = self._tier
         self._tier = target
         _metrics.counter("degradations_total",
                          "execution-tier downgrades taken").inc()
         _metrics.gauge("supervised_workers",
                        "live worker processes of the supervised "
                        "tier").set(0)
+        _flight.dump("degradation",
+                     extra={"from_tier": from_tier, "to_tier": target,
+                            "model": self.model.name, "slot": slot,
+                            "step": step, "attempts": attempts})
+        _ledger.record_event("degradation", model=self.model.name,
+                             tier=target, from_tier=from_tier,
+                             disposition="degraded", slot=slot,
+                             step=step, attempts=attempts)
 
     def _degrade(self, target: str, error: BaseException):
         """Step down to ``target``, or re-raise when already there."""
@@ -363,14 +427,28 @@ class SupervisedRunner(ShardedRunner):
                 _metrics.counter(
                     "shard_retries_total",
                     "shard tasks re-dispatched after a failure").inc()
+                kind = _failure_kind(failure)
+                _metrics.counter(
+                    "worker_failures_total",
+                    "supervised worker failures by shard and reason",
+                    labelnames=("shard", "reason")).labels(
+                        shard=str(slot), reason=kind).inc()
                 _trace.instant("shard_failure", slot=slot,
                                attempt=attempts[slot], reason=failure)
+                _flight.record("worker_failure", slot=slot,
+                               step=state.steps_done, reason=kind,
+                               detail=failure,
+                               heartbeat_age=self._heartbeat_age(slot),
+                               attempt=attempts[slot])
                 if attempts[slot] > self.config.max_retries:
                     raise SupervisedExecutionError(
                         f"shard {slot} [{start}, {end}) failed "
-                        f"{attempts[slot]} times ({failure})",
-                        slot=slot, attempts=attempts[slot])
-                self._restart_worker(slot, failure)
+                        f"{attempts[slot]} times at step "
+                        f"{state.steps_done} ({failure})",
+                        slot=slot, attempts=attempts[slot],
+                        step=state.steps_done)
+                self._restart_worker(slot, failure,
+                                     step=state.steps_done)
                 self._restore_shard(state, backup_sv, backup_ext,
                                     start, end)
                 time.sleep(self.config.retry_backoff
@@ -388,6 +466,7 @@ class SupervisedRunner(ShardedRunner):
         try:
             while conn.poll(0.01):
                 reply = conn.recv()
+                self._harvest_events(reply)
                 if reply[1] != seq:
                     continue            # stale reply from a pre-retry task
                 if reply[0] == "ok":
@@ -474,10 +553,14 @@ class SupervisedRunner(ShardedRunner):
         fault = self._fault_for_slot(slot)
         self._spawns[slot] += 1
         parent_conn, child_conn = ctx.Pipe(duplex=True)
+        # hand the worker the parent's trace identity (fork start
+        # method: the TraceContext object travels in-memory)
+        tracer = _trace.active_tracer()
+        trace_ctx = tracer.context() if tracer is not None else None
         proc = ctx.Process(
             target=_worker_entry,
             args=(self, self._attached, slot, child_conn, self._hb_view,
-                  self.config, fault),
+                  self.config, fault, trace_ctx),
             daemon=True, name=f"limpet-worker-{slot}")
         proc.start()
         child_conn.close()
@@ -485,7 +568,8 @@ class SupervisedRunner(ShardedRunner):
         self._procs[slot] = proc
         self._conns[slot] = parent_conn
 
-    def _restart_worker(self, slot: int, reason: str) -> None:
+    def _restart_worker(self, slot: int, reason: str,
+                        step: int = -1) -> None:
         self._kill_worker(slot)
         _metrics.counter("worker_restarts_total",
                          "supervised workers killed and "
@@ -496,15 +580,55 @@ class SupervisedRunner(ShardedRunner):
             stage="run", component="supervised",
             message=f"restarted worker {slot}: {reason}",
             severity=Severity.WARNING,
-            data={"slot": slot, "reason": reason,
+            data={"slot": slot, "reason": reason, "step": step,
                   "model": self.model.name})
         log_diagnostic(diag)
         self.diagnostics.append(diag)
+        # black-box the moments before the death; the respawn marker
+        # lands in the merged trace next to the dead worker's spans
+        _flight.dump("worker_death",
+                     extra={"slot": slot, "reason": reason,
+                            "step": step, "model": self.model.name,
+                            "spawns": self._spawns[slot]})
         self._spawn_worker(mp.get_context("fork"), slot)
+        _trace.instant("worker_respawn", slot=slot, reason=reason,
+                       spawn=self._spawns[slot])
+
+    def _heartbeat_age(self, slot: int) -> Optional[float]:
+        if self._hb_view is None or slot >= len(self._hb_view):
+            return None
+        return round(time.monotonic() - float(self._hb_view[slot]), 3)
+
+    def _harvest_events(self, reply) -> None:
+        """Merge the span events piggybacked on a worker reply into the
+        parent tracer (every reply is harvested, even stale ones — a
+        pre-retry task's spans are still real work that happened)."""
+        if reply and isinstance(reply[-1], list) and reply[-1]:
+            tracer = _trace.active_tracer()
+            if tracer is not None:
+                tracer.add_foreign_events(reply[-1])
+
+    def _drain_conn(self, conn) -> None:
+        """Best-effort harvest of every reply still queued on a pipe.
+
+        Called before a worker's pipe is closed (kill, restart, or
+        shutdown — including the SIGTERM path, which runs the cleanup
+        hooks *before* the tracer is flushed and written), so span
+        buffers in flight when a run is interrupted reach the merged
+        trace instead of dying with the pipe.
+        """
+        if conn is None:
+            return
+        try:
+            while conn.poll(0):
+                self._harvest_events(conn.recv())
+        except (EOFError, OSError):
+            pass                        # sender already gone
 
     def _kill_worker(self, slot: int) -> None:
         conn = self._conns[slot]
         if conn is not None:
+            self._drain_conn(conn)
             try:
                 conn.close()
             except OSError:

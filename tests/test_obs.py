@@ -71,10 +71,13 @@ class TestTracer:
                 tracer.instant("note")
         path = tracer.write(tmp_path / "trace.json")
         payload = json.loads(path.read_text())
-        events = payload["traceEvents"]
+        events = [e for e in payload["traceEvents"] if e["ph"] != "M"]
         assert {e["name"] for e in events} == {"compile", "passes", "note"}
         for event in events:
             assert set(("name", "ph", "ts", "pid", "tid")) <= set(event)
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert meta and meta[0]["name"] == "process_name"
+        assert payload["otherData"]["trace_id"]
         complete = [e for e in events if e["ph"] == "X"]
         assert len(complete) == 2 and all("dur" in e for e in complete)
         (instant,) = [e for e in events if e["ph"] == "i"]

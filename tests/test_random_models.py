@@ -73,6 +73,40 @@ def random_model_source(draw):
     return "\n".join(lines)
 
 
+def _same_instability(a, b) -> bool:
+    """True when both runs diverged with the same NaN/inf footprint.
+
+    ``compare_trajectories`` refuses to call two NaN-containing runs
+    equal (the watchdog depends on that), but for *backend
+    equivalence* an unstable random model is fine as long as every
+    backend blows up in the same cells of the same keys.  Padding may
+    differ between backends, so masks are compared on the common
+    prefix (the logical cells come first)."""
+    sa, sb = a.snapshot(), b.snapshot()
+    if set(sa) != set(sb):
+        return False
+    for key in sa:
+        ma = ~np.isfinite(np.asarray(sa[key], dtype=float).ravel())
+        mb = ~np.isfinite(np.asarray(sb[key], dtype=float).ravel())
+        n = min(ma.size, mb.size)
+        if not (ma[:n] == mb[:n]).all():
+            return False
+    return True
+
+
+def _assert_equivalent(reference, other, source,
+                       rtol: float = 1e-9) -> None:
+    comparison = compare_trajectories(reference, other, rtol=rtol)
+    if comparison:
+        return
+    only_nan = (not comparison.missing_keys
+                and comparison.nan_keys
+                and set(comparison.mismatches)
+                <= set(comparison.nan_keys))
+    assert only_nan and _same_instability(reference, other), \
+        f"{comparison.describe()}\n{source}"
+
+
 class TestRandomModelEquivalence:
     @given(random_model_source(), st.integers(0, 10_000))
     @settings(max_examples=15, deadline=None)
@@ -89,8 +123,8 @@ class TestRandomModelEquivalence:
             state = runner.make_state(6, perturbation=0.02, rng=rng)
             runner.run(state, 40, 0.01)
             states.append(state)
-        assert compare_trajectories(states[0], states[1]), source
-        assert compare_trajectories(states[0], states[2]), source
+        _assert_equivalent(states[0], states[1], source)
+        _assert_equivalent(states[0], states[2], source)
 
     @given(random_model_source())
     @settings(max_examples=15, deadline=None)
@@ -102,7 +136,7 @@ class TestRandomModelEquivalence:
         s2 = opt.make_state(4, perturbation=0.01)
         raw.run(s1, 25, 0.01)
         opt.run(s2, 25, 0.01)
-        assert compare_trajectories(s1, s2, rtol=1e-12), source
+        _assert_equivalent(s1, s2, source, rtol=1e-12)
 
     @given(random_model_source())
     @settings(max_examples=10, deadline=None)
